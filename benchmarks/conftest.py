@@ -1,0 +1,27 @@
+"""Benchmark harness configuration.
+
+Every benchmark reproduces one table or figure of the paper at the "bench"
+scale (reduced input sizes, identical sharing/synchronization structure;
+see repro.apps.registry).  Simulation runs are memoized process-wide, so
+the full suite costs one simulation per (app, protocol, config).
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+
+The ``-s`` flag shows the rendered paper tables.
+"""
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+import pytest
+
+#: the scale every benchmark uses (override with REPRO_BENCH_SCALE=paper)
+SCALE = os.environ.get("REPRO_BENCH_SCALE", "bench")
+
+
+@pytest.fixture(scope="session")
+def scale():
+    return SCALE

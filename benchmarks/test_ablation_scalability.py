@@ -1,0 +1,26 @@
+"""Ablation — machine-size sweep (the paper fixes 16 processors).
+
+Checks that the AEC-over-TreadMarks advantage is not an artifact of one
+machine size: AEC stays at least competitive at 4, 8 and 16 nodes.
+"""
+from repro.harness import experiments as ex
+
+
+def test_ablation_scalability(benchmark):
+    rows = benchmark.pedantic(
+        lambda: ex.ablation_scalability("test"), rounds=1, iterations=1)
+    print()
+    print(f"{'app':<10} {'protocol':<6} " +
+          " ".join(f"{p:>10}" for p in (4, 8, 16)))
+    table = {}
+    for r in rows:
+        table.setdefault((r.app, r.protocol), {})[r.procs] = r.execution_time
+    for (app, proto), times in sorted(table.items()):
+        print(f"{app:<10} {proto:<6} " +
+              " ".join(f"{times[p] / 1e6:>9.2f}M" for p in (4, 8, 16)))
+
+    for app in ("is", "water-sp"):
+        for p in (4, 8, 16):
+            tm = table[(app, "tmk")][p]
+            aec = table[(app, "aec")][p]
+            assert aec < tm * 1.05, (app, p, aec, tm)

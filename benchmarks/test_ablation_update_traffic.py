@@ -1,0 +1,36 @@
+"""Ablation — communication across the update/invalidate spectrum (§1, §6).
+
+The paper's positioning claims, measured on one axis:
+
+* "AEC leads to much less communication than in Munin, since updates are
+  only sent to the update set of the lock releaser, as opposed to all
+  processors that shared the modified data";
+* LAP "can be used to restrict the update traffic" of release-consistent
+  systems such as Munin (our ``munin-lap``);
+* the Lazy Hybrid TreadMarks variant piggybacks the releaser's own diffs
+  on lock grants — it only helps when the releaser's data covers the
+  acquirer's needs, the gap AEC's merged-diff chains close.
+"""
+from repro.harness import experiments as ex
+
+
+def test_ablation_update_traffic(benchmark, scale):
+    rows = benchmark.pedantic(
+        lambda: ex.ablation_update_traffic(scale), rounds=1, iterations=1)
+    by = {(r.app, r.protocol): r for r in rows}
+    print()
+    print(f"{'app':<10} {'protocol':<10} {'messages':>9} {'KB':>9} "
+          f"{'Mcycles':>9}")
+    for r in rows:
+        print(f"{r.app:<10} {r.protocol:<10} {r.messages:>9} "
+              f"{r.kbytes:>9.0f} {r.execution_time / 1e6:>9.2f}")
+
+    for app in ("is", "raytrace", "water-sp"):
+        munin = by[(app, "munin")]
+        munin_lap = by[(app, "munin-lap")]
+        aec = by[(app, "aec")]
+        # LAP restricts Munin's update traffic (paper §1)
+        assert munin_lap.messages < munin.messages, app
+        # AEC communicates less than all-sharer updates (paper §6)
+        assert aec.messages < munin.messages, app
+        assert aec.kbytes < munin.kbytes, app

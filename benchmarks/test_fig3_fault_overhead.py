@@ -1,0 +1,24 @@
+"""Figure 3 — access-fault overhead under AEC without LAP (=100) vs AEC.
+
+Paper shape: LAP cuts fault overhead by up to 62 % (IS); the smallest
+improvement is Raytrace (16 %), whose fault overhead is dominated by
+cold-start faults and twin generation, which LAP does not address.
+"""
+from repro.harness import experiments as ex
+from repro.harness.tables import render_compare
+
+
+def test_fig3_fault_overhead(benchmark, scale):
+    rows = benchmark.pedantic(lambda: ex.figure3(scale),
+                              rounds=1, iterations=1)
+    print()
+    print(render_compare(
+        "Figure 3: access-fault overhead, AEC-noLAP=100 vs AEC.", rows))
+    by = {r.app: r for r in rows}
+
+    # LAP reduces fault overhead for every lock-intensive application
+    # (paper: IS 38, Raytrace 84, Water-ns 59 — which app benefits most is
+    # input-size dependent; at our reduced scale Water-ns leads)
+    for app, row in by.items():
+        assert row.normalized < 97.0, (app, row.normalized)
+    assert min(r.normalized for r in rows) < 85.0

@@ -1,0 +1,103 @@
+#!/usr/bin/env python
+"""Study how the three LAP techniques behave under different lock patterns.
+
+Builds three synthetic workloads exhibiting the lock-usage regimes the
+paper discusses, and reports per-technique prediction accuracy:
+
+* ``contended``   — all processors hammer one lock (IS-like): the waiting
+                    queue is a near-perfect predictor;
+* ``round-robin`` — a lock migrates in a fixed order with no contention
+                    (Water-ns molecule-lock-like): only affinity and
+                    acquire notices can predict;
+* ``random``      — acquirers are drawn at random: nothing predicts well,
+                    the floor for any technique.
+
+Run::
+
+    python examples/lock_prediction_study.py
+"""
+import numpy as np
+
+from repro import SimConfig, run_app
+from repro.apps.api import Application
+from repro.core.lap.stats import VARIANTS
+
+
+class LockPatternApp(Application):
+    name = "lock-pattern"
+
+    def __init__(self, pattern: str, rounds: int = 64,
+                 use_notices: bool = True) -> None:
+        assert pattern in ("contended", "round-robin", "random")
+        self.pattern = pattern
+        self.rounds = rounds
+        self.use_notices = use_notices
+
+    def declare(self, layout, sync):
+        self.data = layout.allocate("data", 1024)
+        self.lock = sync.new_lock("L")
+        self.bar = sync.new_barrier("B")
+
+    def program(self, ctx):
+        rng = np.random.default_rng(7 + ctx.proc)
+        yield from ctx.barrier(self.bar)
+        for r in range(self.rounds):
+            if self.pattern == "contended":
+                mine = True          # everyone competes every round
+                delay = 100
+            elif self.pattern == "round-robin":
+                # one acquirer per round, in processor order, with gaps
+                # long enough that the waiting queue stays empty
+                mine = (r % ctx.nprocs) == ctx.proc
+                delay = 120_000
+            else:  # random
+                mine = rng.random() < 2.0 / ctx.nprocs
+                delay = int(rng.integers(1_000, 150_000))
+            # acquire notices announce intent *ahead* of the acquire — for
+            # the predictable pattern, a full round ahead (as a compiler
+            # hoisting the notice out of the loop would)
+            if (self.use_notices and self.pattern == "round-robin"
+                    and ((r + 1) % ctx.nprocs) == ctx.proc):
+                yield from ctx.acquire_notice(self.lock)
+            if mine:
+                yield from ctx.compute(delay)
+                if self.use_notices and self.pattern != "round-robin":
+                    yield from ctx.acquire_notice(self.lock)
+                    yield from ctx.compute(5_000)
+                yield from ctx.acquire(self.lock)
+                v = yield from ctx.read1(self.data, 0)
+                yield from ctx.write1(self.data, 0, v + 1)
+                yield from ctx.release(self.lock)
+            if self.pattern != "contended":
+                # rounds are separated by barriers so the access pattern,
+                # not queue pile-up, is what the predictors see
+                yield from ctx.barrier(self.bar)
+        yield from ctx.barrier(self.bar)
+        return True
+
+
+def main():
+    print(f"{'pattern':<12} {'acquires':>9}  "
+          + "  ".join(f"{v:>15}" for v in VARIANTS))
+    for pattern in ("contended", "round-robin", "random"):
+        result = run_app(LockPatternApp(pattern), "aec",
+                         config=SimConfig(seed=1))
+        stats = result.lap_stats.per_lock[0]
+        rates = []
+        for v in VARIANTS:
+            rate = stats.success_rate(v)
+            rates.append("      n/a      " if rate is None
+                         else f"{100 * rate:13.1f} %")
+        print(f"{pattern:<12} {stats.acquires:>9}  " + "  ".join(rates))
+    print()
+    print("Reading the table (cf. paper Table 3):")
+    print(" * contended:   the FIFO waiting queue identifies the next")
+    print("   acquirer almost perfectly - LAP ~= waitQ.")
+    print(" * round-robin: the queue is empty at release; affinity learns")
+    print("   the migration pattern and acquire notices fill the gaps.")
+    print(" * random:      no technique can beat chance by much; this is")
+    print("   the regime where eager updates get wasted.")
+
+
+if __name__ == "__main__":
+    main()

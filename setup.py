@@ -1,0 +1,6 @@
+"""Setuptools shim: lets ``pip install -e . --no-use-pep517`` work on
+offline machines that lack the ``wheel`` package (metadata lives in
+pyproject.toml)."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,20 @@
+"""Reproduction of "The Affinity Entry Consistency Protocol" (ICPP 1997).
+
+A software-only distributed shared memory (SW-DSM) laboratory: the AEC
+protocol with LAP lock-acquirer prediction, a TreadMarks (lazy release
+consistency) baseline, an execution-driven simulator of a 16-workstation
+mesh network, and the paper's six-application SPMD workload.
+
+Quick start::
+
+    from repro import run_app
+    from repro.apps.is_sort import ISApp
+
+    result = run_app(ISApp(), protocol="aec")
+    print(result.summary())
+"""
+from repro.config import MachineParams, SimConfig
+from repro.harness.runner import run_app, PROTOCOLS
+
+__version__ = "1.0.0"
+__all__ = ["MachineParams", "SimConfig", "run_app", "PROTOCOLS", "__version__"]

@@ -1,0 +1,4 @@
+"""SPMD application suite (communication-faithful SPLASH-2 / NPB skeletons)."""
+from repro.apps.api import AppContext, Application
+
+__all__ = ["AppContext", "Application"]

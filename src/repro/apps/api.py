@@ -1,0 +1,115 @@
+"""Application programming interface for simulated SPMD programs.
+
+Programs are written as Python generators in the style the MINT front end
+would execute them: every shared-memory reference and synchronization
+operation is routed through the protocol (via ``yield from``), while private
+computation is represented by ``compute(cycles)``.
+
+Example::
+
+    class MyApp(Application):
+        name = "my-app"
+
+        def declare(self, layout, sync):
+            self.data = layout.allocate("data", 1024)
+            self.lock = sync.new_lock("L")
+            self.bar = sync.new_barrier("B")
+
+        def program(self, ctx):
+            yield from ctx.compute(1000)
+            yield from ctx.acquire(self.lock)
+            v = yield from ctx.read1(self.data, 0)
+            yield from ctx.write1(self.data, 0, v + 1)
+            yield from ctx.release(self.lock)
+            yield from ctx.barrier(self.bar)
+            return (yield from ctx.read1(self.data, 0))
+"""
+from __future__ import annotations
+
+from typing import Any, Dict, Generator, List, Optional, Sequence
+
+import numpy as np
+
+from repro.engine.events import Delay
+from repro.memory.layout import Layout, Segment
+from repro.protocols.base import ProtocolNode
+from repro.sync.objects import SyncRegistry
+
+
+class AppContext:
+    """Per-processor handle through which a program touches the machine."""
+
+    def __init__(self, node: ProtocolNode, seed: int) -> None:
+        self._node = node
+        self.proc = node.node_id
+        self.nprocs = node.machine.num_procs
+        self.rng = np.random.default_rng((seed, node.node_id))
+
+    # ---- computation ------------------------------------------------------
+
+    def compute(self, cycles: float) -> Generator:
+        """Private computation: instructions + private accesses, 1 cy each."""
+        yield Delay(float(cycles), "busy")
+
+    # ---- shared memory -----------------------------------------------------
+
+    def read(self, seg: Segment, start: int, n: int) -> Generator:
+        seg.check_range(start, n)
+        data = yield from self._node.read(seg.base + start, n)
+        return data
+
+    def read1(self, seg: Segment, index: int) -> Generator:
+        data = yield from self._node.read(seg.addr(index), 1)
+        return float(data[0])
+
+    def write(self, seg: Segment, start: int,
+              values: Sequence[float]) -> Generator:
+        values = np.asarray(values, dtype=np.float64)
+        seg.check_range(start, len(values))
+        yield from self._node.write(seg.base + start, values)
+
+    def write1(self, seg: Segment, index: int, value: float) -> Generator:
+        yield from self._node.write(seg.addr(index),
+                                    np.asarray([value], dtype=np.float64))
+
+    def fill(self, seg: Segment, start: int, n: int,
+             value: float) -> Generator:
+        yield from self.write(seg, start, np.full(n, value, dtype=np.float64))
+
+    # ---- synchronization -----------------------------------------------------
+
+    def acquire(self, lock_id: int) -> Generator:
+        yield from self._node.acquire(lock_id)
+
+    def release(self, lock_id: int) -> Generator:
+        yield from self._node.release(lock_id)
+
+    def barrier(self, barrier_id: int) -> Generator:
+        yield from self._node.barrier(barrier_id)
+
+    def acquire_notice(self, lock_id: int) -> Generator:
+        """Announce intent to acquire soon (LAP's virtual-queue input)."""
+        yield from self._node.acquire_notice(lock_id)
+
+
+class Application:
+    """Base class for simulated SPMD applications.
+
+    Subclasses declare shared segments and synchronization objects in
+    :meth:`declare` and provide the per-processor SPMD :meth:`program`.
+    """
+
+    #: registry key and default Table 2 identity
+    name = "app"
+
+    def declare(self, layout: Layout, sync: SyncRegistry) -> None:
+        raise NotImplementedError
+
+    def program(self, ctx: AppContext) -> Generator:
+        raise NotImplementedError
+
+    def check(self, results: List[Any]) -> None:
+        """Validate per-processor results (raise AssertionError on failure)."""
+
+    def describe(self) -> Dict[str, Any]:
+        return {"name": self.name}

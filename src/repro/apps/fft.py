@@ -1,0 +1,173 @@
+"""FFT — SPLASH-2 style √n×√n six-step FFT communication skeleton.
+
+The n complex points live in a √n×√n matrix of which each processor owns a
+contiguous band of rows.  Communication happens in the three all-to-all
+transposes (every processor reads every other processor's band — the bulk
+page traffic the paper's Figure 5 shows as `data`); the row FFTs themselves
+are local computation.  One lock is used only to hand out process ids (16
+acquire events), and there are 7 barriers, exactly as in Table 2.
+
+The butterflies are replaced by a deterministic affine transform per phase
+so the final matrix is exactly checkable against a NumPy reference while
+the data movement (reads of remote bands, writes of own bands) is real.
+"""
+from __future__ import annotations
+
+from typing import Generator, List
+
+import numpy as np
+
+from repro.apps.api import AppContext, Application
+from repro.apps.util import block_range
+from repro.memory.layout import Layout
+from repro.sync.objects import SyncRegistry
+
+#: private cycles per point for one row-FFT phase (log-factor folded in)
+FFT_CYCLES_PER_POINT = 160
+#: words per complex point (re, im)
+CPLX = 2
+
+
+class FFTApp(Application):
+    name = "fft"
+
+    def __init__(self, sqrt_n: int = 256) -> None:
+        if sqrt_n < 2:
+            raise ValueError("sqrt_n must be >= 2")
+        self.m = sqrt_n  # matrix is m x m points
+
+    # ---- reference computation --------------------------------------------
+
+    def initial(self) -> np.ndarray:
+        m = self.m
+        grid = np.arange(m * m, dtype=np.float64).reshape(m, m)
+        return (grid * 17 + 3) % 10007
+
+    @staticmethod
+    def _phase(a: np.ndarray, k: int) -> np.ndarray:
+        """Stand-in for a row-FFT pass: deterministic affine transform."""
+        return (a * (2 * k + 3) + k) % 99991
+
+    def expected(self) -> np.ndarray:
+        a = self.initial()
+        a = self._phase(a, 0).T
+        a = self._phase(a, 1).T
+        a = self._phase(a, 2).T.copy()
+        return a
+
+    # ---- declaration --------------------------------------------------------
+
+    def declare(self, layout: Layout, sync: SyncRegistry) -> None:
+        m = self.m
+        # two matrices, real part only is simulated per word but each point
+        # is CPLX words wide to keep the paper's data volume
+        self.mat_a = layout.allocate("fft.a", m * m * CPLX)
+        self.mat_b = layout.allocate("fft.b", m * m * CPLX)
+        self.id_state = layout.allocate("fft.ids", 16)
+        self.id_lock = sync.new_lock("id_lock")
+        self.bar = sync.new_barrier("fft.bar")
+
+    # ---- program ---------------------------------------------------------------
+
+    def _write_row(self, ctx: AppContext, seg, row: int,
+                   values: np.ndarray) -> Generator:
+        m = self.m
+        out = np.zeros(m * CPLX)
+        out[0::CPLX] = values
+        yield from ctx.write(seg, row * m * CPLX, out)
+
+    def _read_col_block(self, ctx: AppContext, seg, rows, col_lo: int,
+                        col_hi: int) -> Generator:
+        """Gather columns [col_lo, col_hi) of the given rows (transpose read)."""
+        m = self.m
+        out = np.empty((len(rows), col_hi - col_lo))
+        for i, r in enumerate(rows):
+            data = yield from ctx.read(seg, (r * m + col_lo) * CPLX,
+                                       (col_hi - col_lo) * CPLX)
+            out[i] = data[0::CPLX]
+        return out
+
+    def _transpose_into(self, ctx: AppContext, src, dst, lo: int,
+                        hi: int) -> Generator:
+        """Write dst rows [lo, hi) = src columns [lo, hi) (all bands read)."""
+        m = self.m
+        src_rows = list(range(m))
+        cols = yield from self._read_col_block(ctx, src, src_rows, lo, hi)
+        for j in range(lo, hi):
+            yield from self._write_row(ctx, dst, j, cols[:, j - lo])
+
+    def program(self, ctx: AppContext) -> Generator:
+        m = self.m
+        lo, hi = block_range(m, ctx.nprocs, ctx.proc)
+        rows = list(range(lo, hi))
+
+        # id assignment: the only lock in FFT
+        yield from ctx.acquire(self.id_lock)
+        nid = yield from ctx.read1(self.id_state, 0)
+        yield from ctx.write1(self.id_state, 0, nid + 1)
+        yield from ctx.release(self.id_lock)
+
+        # initialize own band of A
+        init = self.initial()
+        for r in rows:
+            yield from self._write_row(ctx, self.mat_a, r, init[r])
+        yield from ctx.barrier(self.bar)                       # 1
+
+        # phase 0: row FFT on A
+        work = np.empty((len(rows), m))
+        for i, r in enumerate(rows):
+            data = yield from ctx.read(self.mat_a, r * m * CPLX, m * CPLX)
+            work[i] = self._phase(data[0::CPLX], 0)
+            yield from ctx.compute(FFT_CYCLES_PER_POINT * m)
+        for i, r in enumerate(rows):
+            yield from self._write_row(ctx, self.mat_a, r, work[i])
+        yield from ctx.barrier(self.bar)                       # 2
+
+        # transpose A -> B
+        yield from self._transpose_into(ctx, self.mat_a, self.mat_b, lo, hi)
+        yield from ctx.barrier(self.bar)                       # 3
+
+        # phase 1: row FFT on B
+        for i, r in enumerate(rows):
+            data = yield from ctx.read(self.mat_b, r * m * CPLX, m * CPLX)
+            work[i] = self._phase(data[0::CPLX], 1)
+            yield from ctx.compute(FFT_CYCLES_PER_POINT * m)
+        for i, r in enumerate(rows):
+            yield from self._write_row(ctx, self.mat_b, r, work[i])
+        yield from ctx.barrier(self.bar)                       # 4
+
+        # transpose B -> A
+        yield from self._transpose_into(ctx, self.mat_b, self.mat_a, lo, hi)
+        yield from ctx.barrier(self.bar)                       # 5
+
+        # phase 2: row FFT on A
+        for i, r in enumerate(rows):
+            data = yield from ctx.read(self.mat_a, r * m * CPLX, m * CPLX)
+            work[i] = self._phase(data[0::CPLX], 2)
+            yield from ctx.compute(FFT_CYCLES_PER_POINT * m)
+        for i, r in enumerate(rows):
+            yield from self._write_row(ctx, self.mat_a, r, work[i])
+        yield from ctx.barrier(self.bar)                       # 6
+
+        # final transpose A -> B; B holds the result
+        yield from self._transpose_into(ctx, self.mat_a, self.mat_b, lo, hi)
+        yield from ctx.barrier(self.bar)                       # 7
+
+        # return own band of the result for validation
+        out = np.empty((len(rows), m))
+        for i, r in enumerate(rows):
+            data = yield from ctx.read(self.mat_b, r * m * CPLX, m * CPLX)
+            out[i] = data[0::CPLX]
+        return (lo, out)
+
+    # ---- validation -----------------------------------------------------------------
+
+    def check(self, results: List) -> None:
+        expected = self.expected()
+        for lo, band in results:
+            np.testing.assert_array_equal(
+                band, expected[lo:lo + band.shape[0]],
+                err_msg=f"FFT band at row {lo} diverged")
+
+    def describe(self):
+        return {"name": self.name, "points": self.m * self.m}

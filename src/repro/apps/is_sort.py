@@ -1,0 +1,114 @@
+"""IS — NPB integer (bucket) sort, after the Rice University SPLASH port.
+
+Each processor owns a block of keys.  Every repetition it ranks its keys
+locally, then enters the single critical section to accumulate its local
+bucket histogram into the *shared rank array* (one highly-contended lock —
+the paper's archetypal LAP workload), and finally reads the shared array
+back to rank its own keys.
+
+Paper parameters: 64K keys, 1 lock, 80 lock-acquire events, 21 barriers
+(Table 2).  With the default 5 repetitions this skeleton reproduces exactly
+80 acquires and 21 barriers on 16 processors.
+"""
+from __future__ import annotations
+
+from typing import Generator, List
+
+import numpy as np
+
+from repro.apps.api import AppContext, Application
+from repro.apps.util import block_range
+from repro.memory.layout import Layout
+from repro.sync.objects import SyncRegistry
+
+#: cycles of private work per key during local ranking
+RANK_CYCLES_PER_KEY = 220
+
+
+class ISApp(Application):
+    name = "is"
+
+    def __init__(self, num_keys: int = 65536, num_buckets: int = 1024,
+                 repetitions: int = 5, max_key: int = 1 << 16) -> None:
+        if num_buckets < 1 or num_keys < 1 or repetitions < 1:
+            raise ValueError("invalid IS parameters")
+        self.num_keys = num_keys
+        self.num_buckets = num_buckets
+        self.repetitions = repetitions
+        self.max_key = max_key
+
+    # ---- workload ------------------------------------------------------------
+
+    def keys_for(self, p: int, nprocs: int) -> np.ndarray:
+        """Deterministic per-processor key block (same for every protocol)."""
+        start, stop = block_range(self.num_keys, nprocs, p)
+        rng = np.random.default_rng(1234 + p)
+        return rng.integers(0, self.max_key, size=stop - start).astype(np.int64)
+
+    def _bucket_of(self, keys: np.ndarray) -> np.ndarray:
+        return (keys * self.num_buckets // self.max_key).astype(np.int64)
+
+    def expected_histogram(self, nprocs: int) -> np.ndarray:
+        hist = np.zeros(self.num_buckets, dtype=np.int64)
+        for p in range(nprocs):
+            b = self._bucket_of(self.keys_for(p, nprocs))
+            np.add.at(hist, b, 1)
+        return hist * self.repetitions
+
+    # ---- declaration -----------------------------------------------------------
+
+    def declare(self, layout: Layout, sync: SyncRegistry) -> None:
+        #: the shared rank/bucket array the single lock protects
+        self.rank_array = layout.allocate("is.rank", self.num_buckets)
+        #: per-processor published checksums (outside-of-CS data)
+        self.checksums = layout.allocate("is.checksums", 1024)
+        self.lock = sync.new_lock("rank_lock")
+        self.bar = sync.new_barrier("is.bar")
+
+    # ---- program -----------------------------------------------------------------
+
+    def program(self, ctx: AppContext) -> Generator:
+        keys = self.keys_for(ctx.proc, ctx.nprocs)
+        buckets = self._bucket_of(keys)
+        local_hist = np.zeros(self.num_buckets, dtype=np.int64)
+        np.add.at(local_hist, buckets, 1)
+
+        yield from ctx.barrier(self.bar)  # start line (1 barrier)
+        for rep in range(self.repetitions):
+            # phase 1: local ranking (busy work proportional to keys owned)
+            yield from ctx.compute(RANK_CYCLES_PER_KEY * len(keys))
+            yield from ctx.barrier(self.bar)
+            # phase 2: accumulate into the shared array (the critical section)
+            yield from ctx.acquire(self.lock)
+            current = yield from ctx.read(self.rank_array, 0, self.num_buckets)
+            yield from ctx.write(self.rank_array, 0, current + local_hist)
+            yield from ctx.release(self.lock)
+            yield from ctx.barrier(self.bar)
+            # phase 3: read the shared rankings back, rank local keys
+            shared = yield from ctx.read(self.rank_array, 0, self.num_buckets)
+            yield from ctx.compute(25 * len(keys))
+            # publish a per-processor checksum (modified outside any CS)
+            yield from ctx.write1(self.checksums, ctx.proc * 16,
+                                  float(shared.sum()))
+            yield from ctx.barrier(self.bar)
+            # phase 4: partial verification against neighbours' checksums
+            neighbour = (ctx.proc + 1) % ctx.nprocs
+            other = yield from ctx.read1(self.checksums, neighbour * 16)
+            yield from ctx.compute(100)
+            yield from ctx.barrier(self.bar)
+        final = yield from ctx.read(self.rank_array, 0, self.num_buckets)
+        return final.astype(np.int64)
+
+    # ---- validation ------------------------------------------------------------------
+
+    def check(self, results: List[np.ndarray]) -> None:
+        expected = self.expected_histogram(len(results))
+        for p, got in enumerate(results):
+            assert got is not None, f"proc {p} returned nothing"
+            np.testing.assert_array_equal(
+                got, expected,
+                err_msg=f"proc {p}: shared rank array diverged")
+
+    def describe(self):
+        return {"name": self.name, "keys": self.num_keys,
+                "buckets": self.num_buckets, "reps": self.repetitions}

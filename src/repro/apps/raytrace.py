@@ -1,0 +1,186 @@
+"""Raytrace — SPLASH-2 style ray tracer communication skeleton.
+
+The image plane is partitioned among processors in contiguous blocks of
+pixel groups (tasks); each processor owns a task queue protected by its own
+lock, and idle processors steal from the tails of other queues (the paper's
+vars 2-17).  A memory-management lock (the paper's var 1, ~66 % of all lock
+events) is acquired twice per task to allocate ray/intersection records.
+The scene (teapot) is read-only shared data initialized by processor 0 —
+the source of the cold-start faults that dominate Raytrace's fault overhead
+in the paper.
+
+Task costs are deliberately imbalanced (a "teapot" bump in the middle of
+the image) so that task stealing actually happens.
+"""
+from __future__ import annotations
+
+from typing import Generator, List, Optional
+
+import numpy as np
+
+from repro.apps.api import AppContext, Application
+from repro.memory.layout import Layout
+from repro.sync.objects import SyncRegistry
+
+#: per-pixel trace cost in cycles (before the teapot bump factor)
+TRACE_CYCLES_PER_PIXEL = 9000
+
+
+class RaytraceApp(Application):
+    name = "raytrace"
+
+    def __init__(self, tasks_per_proc: int = 64, pixels_per_task: int = 16,
+                 scene_words: int = 16384) -> None:
+        self.tasks_per_proc = tasks_per_proc
+        self.pixels_per_task = pixels_per_task
+        self.scene_words = scene_words
+
+    # ---- deterministic workload shape ------------------------------------
+
+    def total_tasks(self, nprocs: int) -> int:
+        return self.tasks_per_proc * nprocs
+
+    def task_cost(self, task: int, total: int) -> int:
+        """Imbalanced per-task cost: heavy in the middle of the image."""
+        x = (task + 0.5) / total
+        bump = 1.0 + 3.0 * np.exp(-((x - 0.5) ** 2) / 0.02)
+        return int(TRACE_CYCLES_PER_PIXEL * self.pixels_per_task * bump)
+
+    def pixel_value(self, pixel: int) -> float:
+        return float((pixel * 2654435761) % 997)
+
+    def scene_value(self, i: int) -> float:
+        return float((i * 40503) % 8191)
+
+    # ---- declaration -------------------------------------------------------
+
+    def declare(self, layout: Layout, sync: SyncRegistry) -> None:
+        nprocs = sync.num_procs
+        self.nprocs = nprocs
+        total = self.total_tasks(nprocs)
+        self.scene = layout.allocate("rt.scene", self.scene_words)
+        self.image = layout.allocate("rt.image",
+                                     total * self.pixels_per_task)
+        #: shared memory-allocator state (one word suffices)
+        self.mem_state = layout.allocate("rt.mem", 16)
+        #: per-processor queue region: [head, tail, entries...]; one page
+        #: per queue so queues never false-share with each other
+        queue_words = 2 + self.tasks_per_proc
+        wpp = layout.words_per_page
+        self.stride = ((queue_words + wpp - 1) // wpp) * wpp
+        self.queues = layout.allocate("rt.queues", nprocs * self.stride)
+        self.mem_lock = sync.new_lock("mem_lock")
+        self.tid_lock = sync.new_lock("tid_lock")
+        self.qlocks = sync.new_locks("qlock", nprocs, group="qlock")
+        self.bar = sync.new_barrier("rt.bar")
+
+    # ---- program ----------------------------------------------------------
+
+    def program(self, ctx: AppContext) -> Generator:
+        total = self.total_tasks(ctx.nprocs)
+        stride = self.stride
+        qbase = ctx.proc * stride
+
+        # processor 0 builds the scene and everyone seeds its own queue
+        if ctx.proc == 0:
+            scene_data = np.array(
+                [self.scene_value(i) for i in range(self.scene_words)])
+            yield from ctx.write(self.scene, 0, scene_data)
+        my_tasks = np.arange(ctx.proc * self.tasks_per_proc,
+                             (ctx.proc + 1) * self.tasks_per_proc,
+                             dtype=np.float64)
+        yield from ctx.write(self.queues, qbase,
+                             np.concatenate(([0.0, float(len(my_tasks))],
+                                             my_tasks)))
+        yield from ctx.barrier(self.bar)
+
+        # id assignment (acquired exactly once per processor)
+        yield from ctx.acquire(self.tid_lock)
+        yield from ctx.compute(50)
+        yield from ctx.release(self.tid_lock)
+
+        done_pixels = 0
+        while True:
+            task = yield from self._get_task(ctx, qbase, stride)
+            if task is None:
+                break
+            yield from self._trace_task(ctx, task, total)
+            done_pixels += self.pixels_per_task
+        yield from ctx.barrier(self.bar)
+        count = yield from ctx.read1(self.mem_state, 0)
+        image_sum = None
+        if ctx.proc == 0:
+            image = yield from ctx.read(self.image, 0, self.image.nwords)
+            image_sum = float(image.sum())
+        return {"pixels": done_pixels, "allocs": count,
+                "image_sum": image_sum}
+
+    def _get_task(self, ctx: AppContext, qbase: int,
+                  stride: int) -> Generator:
+        # pop from our own queue head
+        task = yield from self._pop(ctx, ctx.proc, qbase, head=True)
+        if task is not None:
+            return task
+        # steal from other queues' tails
+        for d in range(1, ctx.nprocs):
+            victim = (ctx.proc + d) % ctx.nprocs
+            vbase = victim * stride
+            task = yield from self._pop(ctx, victim, vbase, head=False)
+            if task is not None:
+                return task
+        return None
+
+    def _pop(self, ctx: AppContext, owner: int, base: int,
+             head: bool) -> Generator:
+        yield from ctx.acquire(self.qlocks[owner])
+        hd, tl = (yield from ctx.read(self.queues, base, 2))
+        task: Optional[int] = None
+        if tl - hd >= 1:
+            if head:
+                task = int((yield from ctx.read1(self.queues,
+                                                 base + 2 + int(hd))))
+                yield from ctx.write1(self.queues, base, hd + 1)
+            else:
+                task = int((yield from ctx.read1(self.queues,
+                                                 base + 2 + int(tl) - 1)))
+                yield from ctx.write1(self.queues, base + 1, tl - 1)
+        yield from ctx.release(self.qlocks[owner])
+        return task
+
+    def _trace_task(self, ctx: AppContext, task: int, total: int) -> Generator:
+        # two allocator visits per task (rays + intersection records)
+        for _ in range(2):
+            yield from ctx.acquire(self.mem_lock)
+            v = yield from ctx.read1(self.mem_state, 0)
+            yield from ctx.write1(self.mem_state, 0, v + 1)
+            yield from ctx.release(self.mem_lock)
+        # read the scene region this task's rays traverse (read-only)
+        span = max(64, self.scene_words // max(total // 8, 1))
+        offset = (task * 977) % max(self.scene_words - span, 1)
+        scene_part = yield from ctx.read(self.scene, offset, span)
+        # trace the rays
+        yield from ctx.compute(self.task_cost(task, total))
+        # write the pixel block
+        base = task * self.pixels_per_task
+        values = np.array([self.pixel_value(base + i)
+                           for i in range(self.pixels_per_task)])
+        yield from ctx.write(self.image, base, values)
+
+    # ---- validation ------------------------------------------------------------
+
+    def check(self, results: List[dict]) -> None:
+        total = self.total_tasks(len(results))
+        pixels = sum(r["pixels"] for r in results)
+        assert pixels == total * self.pixels_per_task, \
+            f"tasks lost: {pixels} != {total * self.pixels_per_task}"
+        for r in results:
+            assert r["allocs"] == 2 * total, \
+                f"allocator count {r['allocs']} != {2 * total}"
+        expected = sum(self.pixel_value(i)
+                       for i in range(total * self.pixels_per_task))
+        got = results[0]["image_sum"]
+        assert got == expected, f"image checksum {got} != {expected}"
+
+    def describe(self):
+        return {"name": self.name, "tasks": self.tasks_per_proc,
+                "pixels_per_task": self.pixels_per_task}

@@ -1,0 +1,75 @@
+"""Application registry: name -> factory, with paper-scale and test-scale
+parameter presets.
+
+``make_app(name, scale)`` builds one of the six paper applications:
+
+* ``scale="paper"`` — the input sizes of Section 4.2 (64K keys, 512
+  molecules, 1M-point FFT, 258² Ocean grid ...); slow under simulation.
+* ``scale="bench"`` — reduced sizes preserving the sharing/synchronization
+  structure, used by the benchmark harness (minutes, not hours).
+* ``scale="test"`` — small sizes for the test suite (seconds).
+"""
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.apps.api import Application
+from repro.apps.fft import FFTApp
+from repro.apps.is_sort import ISApp
+from repro.apps.ocean import OceanApp
+from repro.apps.raytrace import RaytraceApp
+from repro.apps.water_nsquared import WaterNsquaredApp
+from repro.apps.water_spatial import WaterSpatialApp
+
+_PRESETS: Dict[str, Dict[str, Callable[[], Application]]] = {
+    "is": {
+        "paper": lambda: ISApp(num_keys=65536, num_buckets=1024,
+                               repetitions=5),
+        "bench": lambda: ISApp(num_keys=16384, num_buckets=1024,
+                               repetitions=5),
+        "test": lambda: ISApp(num_keys=2048, num_buckets=256,
+                              repetitions=2),
+    },
+    "raytrace": {
+        "paper": lambda: RaytraceApp(tasks_per_proc=64, pixels_per_task=16,
+                                     scene_words=16384),
+        "bench": lambda: RaytraceApp(tasks_per_proc=32, pixels_per_task=16,
+                                     scene_words=8192),
+        "test": lambda: RaytraceApp(tasks_per_proc=8, pixels_per_task=4,
+                                    scene_words=2048),
+    },
+    "water-ns": {
+        "paper": lambda: WaterNsquaredApp(num_molecules=512, steps=5),
+        "bench": lambda: WaterNsquaredApp(num_molecules=128, steps=3),
+        "test": lambda: WaterNsquaredApp(num_molecules=48, steps=2),
+    },
+    "fft": {
+        "paper": lambda: FFTApp(sqrt_n=1024),
+        "bench": lambda: FFTApp(sqrt_n=64),
+        "test": lambda: FFTApp(sqrt_n=16),
+    },
+    "ocean": {
+        "paper": lambda: OceanApp(grid=258, iterations=450),
+        "bench": lambda: OceanApp(grid=66, iterations=60),
+        "test": lambda: OceanApp(grid=34, iterations=8),
+    },
+    "water-sp": {
+        "paper": lambda: WaterSpatialApp(num_molecules=512, steps=5),
+        "bench": lambda: WaterSpatialApp(num_molecules=256, steps=5),
+        "test": lambda: WaterSpatialApp(num_molecules=64, steps=2),
+    },
+}
+
+APP_NAMES = tuple(_PRESETS)
+SCALES = ("paper", "bench", "test")
+
+
+def make_app(name: str, scale: str = "bench") -> Application:
+    try:
+        presets = _PRESETS[name]
+    except KeyError:
+        raise ValueError(f"unknown app {name!r}; choose from {APP_NAMES}") \
+            from None
+    if scale not in presets:
+        raise ValueError(f"unknown scale {scale!r}; choose from {SCALES}")
+    return presets[scale]()

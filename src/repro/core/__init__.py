@@ -1,0 +1,1 @@
+"""The paper's contribution: the AEC protocol and the LAP prediction technique."""

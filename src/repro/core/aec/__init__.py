@@ -1,0 +1,4 @@
+"""The Affinity Entry Consistency protocol (Section 3 of the paper)."""
+from repro.core.aec.protocol import AECNode
+
+__all__ = ["AECNode"]

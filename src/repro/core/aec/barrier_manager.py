@@ -1,0 +1,218 @@
+"""AEC barrier management (Section 3.3 of the paper).
+
+The barrier manager (node 0) collects three kinds of lists from every
+processor at arrival (locks owned, pages accessed in those critical
+sections, pages modified outside critical sections), determines who must
+send diffs / write notices to whom, assigns a home node for every page
+touched during the step, and finally signals completion once every node has
+exchanged and applied its updates.
+
+All computation here is plain state manipulation invoked from ISRs; the
+protocol node charges the corresponding list-processing delays.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.memory.write_notice import WriteNotice
+
+
+@dataclass
+class ArrivalInfo:
+    """What one node reports when it reaches the barrier."""
+
+    node: int
+    #: lock sessions: lock -> (acquire_counter, modified pages, covered pages)
+    lock_sessions: Dict[int, Tuple[int, List[int], List[int]]]
+    #: pages modified outside critical sections this step
+    outside_mod_pages: List[int]
+    #: pages accessed (read or written) this step
+    accessed_pages: List[int]
+    #: validity deltas since the previous barrier
+    gained_valid: List[int]
+    lost_valid: List[int]
+
+    @property
+    def element_count(self) -> int:
+        n = len(self.outside_mod_pages) + len(self.accessed_pages)
+        n += len(self.gained_valid) + len(self.lost_valid)
+        for _, (_, mod, cov) in sorted(self.lock_sessions.items()):
+            n += 1 + len(mod) + len(cov)
+        return n
+
+
+@dataclass
+class BarrierInstructions:
+    """Per-node instructions computed by the manager (``aec.bar_lists``)."""
+
+    step: int
+    #: diffs this node must push: (lock, [pages], [destinations])
+    cs_sends: List[Tuple[int, List[int], List[int]]] = field(default_factory=list)
+    #: write notices to push: (page, epoch, [destinations])
+    wn_sends: List[Tuple[int, int, List[int]]] = field(default_factory=list)
+    #: how many bar_diffs / bar_wn messages this node will receive
+    expect_diff_msgs: int = 0
+    expect_wn_msgs: int = 0
+    #: home reassignments (page -> home node)
+    homes: Dict[int, int] = field(default_factory=dict)
+    #: pages accessed by other nodes this step (eager-diff filter input)
+    others_accessed: Set[int] = field(default_factory=set)
+    #: pages whose stale local copy cannot be lazily repaired (CS mods went
+    #: to valid holders only): drop local recovery info, refetch on fault
+    stale_pages: Set[int] = field(default_factory=set)
+
+    @property
+    def element_count(self) -> int:
+        n = len(self.homes) * 2 + len(self.others_accessed)
+        n += len(self.stale_pages)
+        for _, pages, dests in self.cs_sends:
+            n += 1 + len(pages) + len(dests)
+        for _, _, dests in self.wn_sends:
+            n += 2 + len(dests)
+        return n
+
+
+class AECBarrierManager:
+    """Barrier-manager role (lives on node 0)."""
+
+    def __init__(self, num_procs: int, total_pages: int) -> None:
+        self.num_procs = num_procs
+        self.step = 0
+        #: nodes believed to hold a valid copy of each page
+        self.validset: Dict[int, Set[int]] = {}
+        #: nodes holding *some* (possibly stale) copy
+        self.copyset: Dict[int, Set[int]] = {}
+        #: current home of every page (defaults to node 0, the initial host)
+        self.homes: Dict[int, int] = {}
+        for pn in range(total_pages):
+            self.validset[pn] = {0}
+            self.copyset[pn] = {0}
+        self._arrivals: Dict[int, ArrivalInfo] = {}
+        self._done: Set[int] = set()
+        self._phase = "collect"  # collect | exchange
+
+    # ---- arrival collection ---------------------------------------------------
+
+    def arrive(self, info: ArrivalInfo) -> bool:
+        if self._phase != "collect":
+            raise RuntimeError("barrier arrival during exchange phase")
+        if info.node in self._arrivals:
+            raise RuntimeError(f"node {info.node} arrived twice")
+        self._arrivals[info.node] = info
+        return len(self._arrivals) == self.num_procs
+
+    def compute(self) -> Dict[int, BarrierInstructions]:
+        """All nodes arrived: compute the exchange instructions."""
+        arrivals = self._arrivals
+        # 1. fold in validity deltas reported by the nodes
+        for info in arrivals.values():
+            for pg in info.gained_valid:
+                self.validset.setdefault(pg, set()).add(info.node)
+                self.copyset.setdefault(pg, set()).add(info.node)
+            for pg in info.lost_valid:
+                self.validset.setdefault(pg, set()).discard(info.node)
+
+        instr = {p: BarrierInstructions(step=self.step) for p in arrivals}
+
+        # 2. outside-of-CS modifications: write notices writer -> all other
+        #    copy holders (stale holders need the fresh epoch too, so their
+        #    later fault fetches the newest diffs in epoch order)
+        writers: Dict[int, Set[int]] = {}
+        for info in arrivals.values():
+            for pg in info.outside_mod_pages:
+                writers.setdefault(pg, set()).add(info.node)
+        for pg, ws in sorted(writers.items()):
+            holders = self.copyset.setdefault(pg, set())
+            for w in sorted(ws):
+                dests = sorted(holders - {w})
+                if dests:
+                    instr[w].wn_sends.append((pg, self.step, dests))
+                    for d in dests:
+                        if d in instr:
+                            instr[d].expect_wn_msgs += 1
+            # after the exchange only the writers' copies are current
+            self.validset[pg] = set(ws)
+            self.copyset.setdefault(pg, set()).update(ws)
+
+        # 3. lock-protected modifications: for *every lock*, the lock's last
+        #    owner (highest acquire counter) pushes its merged diffs to the
+        #    remaining valid holders of each covered page (the same page may
+        #    carry several locks' diffs — word-disjoint under EC); stale
+        #    copy holders are told to refetch the page on their next fault
+        lock_pages: Dict[int, Set[int]] = {}
+        # lock -> (counter, owner node, covered|modified pages)
+        last_owner: Dict[int, Tuple[int, int, Set[int]]] = {}
+        for info in arrivals.values():
+            for lock, (counter, modified, covered) in info.lock_sessions.items():
+                lock_pages.setdefault(lock, set()).update(modified)
+                pages = set(covered) | set(modified)
+                cur = last_owner.get(lock)
+                if cur is None or counter > cur[0]:
+                    last_owner[lock] = (counter, info.node, pages)
+        send_groups: Dict[Tuple[int, int, int], List[int]] = {}
+        cs_owners: Dict[int, Set[int]] = {}
+        for lock, (counter, owner, pages) in sorted(last_owner.items()):
+            for pg in sorted(pages):
+                holders = self.validset.setdefault(pg, set())
+                for d in sorted(holders - {owner}):
+                    send_groups.setdefault((owner, lock, d), []).append(pg)
+                cs_owners.setdefault(pg, set()).add(owner)
+                holders.add(owner)
+                self.copyset.setdefault(pg, set()).add(owner)
+        for pg, owners in sorted(cs_owners.items()):
+            stale = (self.copyset.setdefault(pg, set())
+                     - self.validset.setdefault(pg, set()))
+            for d in sorted(stale):
+                if d in instr:
+                    instr[d].stale_pages.add(pg)
+        for (owner, lock, d), pages in sorted(send_groups.items()):
+            instr[owner].cs_sends.append((lock, pages, [d]))
+            instr[d].expect_diff_msgs += 1
+
+        # 4. assign homes for every page touched this step
+        touched: Set[int] = set(writers)
+        for pages in lock_pages.values():
+            touched.update(pages)
+        for pg in sorted(touched):
+            valid = self.validset.setdefault(pg, set())
+            if valid:
+                home = min(valid)
+            else:
+                copy = self.copyset.setdefault(pg, set())
+                home = min(copy) if copy else 0
+            if self.homes.get(pg, 0) != home:
+                self.homes[pg] = home
+            for p in instr:
+                instr[p].homes[pg] = home
+
+        # 5. pages accessed by others (eager-diff filter for the next step)
+        accessed_by: Dict[int, Set[int]] = {}
+        for info in arrivals.values():
+            for pg in info.accessed_pages:
+                accessed_by.setdefault(pg, set()).add(info.node)
+        for p, ins in instr.items():
+            ins.others_accessed = {
+                pg for pg, who in accessed_by.items() if who - {p}
+            }
+
+        self._phase = "exchange"
+        return instr
+
+    # ---- completion tracking ---------------------------------------------------
+
+    def node_done(self, node: int) -> bool:
+        if self._phase != "exchange":
+            raise RuntimeError("bar_done outside exchange phase")
+        if node in self._done:
+            raise RuntimeError(f"node {node} reported done twice")
+        self._done.add(node)
+        return len(self._done) == self.num_procs
+
+    def complete(self) -> int:
+        """Finish the episode; returns the new step number."""
+        self.step += 1
+        self._arrivals.clear()
+        self._done.clear()
+        self._phase = "collect"
+        return self.step

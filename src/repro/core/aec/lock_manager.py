@@ -1,0 +1,170 @@
+"""AEC lock management (manager side, Section 3.2 of the paper).
+
+Each lock has a statically assigned manager node.  The manager keeps the
+lock's waiting/virtual queues and affinity matrix (the LAP inputs), the
+history of pages modified under the lock (with their last modifiers), and
+the coverage of the last releaser's merged diffs.  On every *grant* it
+computes the new owner's update set with LAP and records shadow predictions
+for the Table 3 statistics.
+
+All manager logic is non-blocking: it is called from interrupt service
+routines and only mutates state / returns messages to send.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.core.lap.predictor import LapPredictor
+from repro.core.lap.state import LockPredictionState
+
+Predictions = Dict[str, List[int]]
+
+
+@dataclass
+class GrantInfo:
+    """Payload of an ``aec.lock_grant`` message."""
+
+    lock_id: int
+    acquire_counter: int
+    last_owner: Optional[int]
+    #: acquire counter the last owner held (stamps its merged diffs)
+    last_owner_counter: int
+    in_update_set: bool
+    #: pages to invalidate: (page, last modifier inside the lock's CS)
+    invalidate: List[Tuple[int, int]]
+    #: the new owner's update set for its future release
+    update_set: List[int]
+
+
+class ManagedLock:
+    """Manager-side state of one lock."""
+
+    def __init__(self, lock_id: int, num_procs: int) -> None:
+        self.pred = LockPredictionState(lock_id, num_procs)
+        #: page -> last modifier inside the lock's CS (current barrier step)
+        self.history: Dict[int, int] = {}
+        #: pages covered by the last releaser's merged diffs
+        self.coverage: Set[int] = set()
+        #: update set handed to the current holder at its grant
+        self.holder_update_set: List[int] = []
+        #: update set the last owner had when it released
+        self.last_owner_update_set: List[int] = []
+        #: acquire counter the last owner was granted with
+        self.last_owner_counter: int = 0
+
+    def reset_step_state(self) -> None:
+        """A barrier completed: lock-protected data is globally consistent
+        among valid copies, so per-step diff history is obsolete.  Update
+        sets are also cleared: eagerly pushed diffs do not survive barriers
+        (receivers discard them), so post-barrier grants must not claim the
+        acquirer was updated."""
+        self.history.clear()
+        self.coverage.clear()
+        self.holder_update_set = []
+        self.last_owner_update_set = []
+
+
+class AECLockManager:
+    """The lock-manager role of one node (manages locks hashed to it)."""
+
+    def __init__(self, node_id: int, num_procs: int, predictor: LapPredictor,
+                 use_lap: bool) -> None:
+        self.node_id = node_id
+        self.num_procs = num_procs
+        self.predictor = predictor
+        self.use_lap = use_lap
+        self.locks: Dict[int, ManagedLock] = {}
+
+    def lock(self, lock_id: int) -> ManagedLock:
+        ml = self.locks.get(lock_id)
+        if ml is None:
+            ml = ManagedLock(lock_id, self.num_procs)
+            self.locks[lock_id] = ml
+        return ml
+
+    def reset_step_state(self) -> None:
+        for ml in self.locks.values():
+            ml.reset_step_state()
+
+    # ---- events --------------------------------------------------------------
+
+    def request(self, lock_id: int,
+                requester: int) -> Optional[Tuple[GrantInfo, Predictions]]:
+        """A lock request arrived; returns a grant or queues the requester."""
+        ml = self.lock(lock_id)
+        if ml.pred.holder is not None:
+            ml.pred.waiting_queue.append(requester)
+            return None
+        return self._grant(ml, requester)
+
+    def notice(self, lock_id: int, proc: int) -> None:
+        self.lock(lock_id).pred.add_notice(proc)
+
+    def release(self, lock_id: int, releaser: int, covered_pages: List[int],
+                modified_pages: List[int]
+                ) -> Optional[Tuple[int, GrantInfo, Predictions]]:
+        """Ownership given up; returns (next owner, grant, predictions) if
+        someone is waiting."""
+        ml = self.lock(lock_id)
+        ml.pred.record_release(releaser)
+        for pg in modified_pages:
+            ml.history[pg] = releaser
+        ml.coverage = set(covered_pages)
+        ml.last_owner_update_set = ml.holder_update_set
+        ml.holder_update_set = []
+        if ml.pred.waiting_queue:
+            nxt = ml.pred.waiting_queue.popleft()
+            grant, predictions = self._grant(ml, nxt)
+            return nxt, grant, predictions
+        return None
+
+    # ---- internals -------------------------------------------------------------
+
+    def _grant(self, ml: ManagedLock,
+               new_owner: int) -> Tuple[GrantInfo, Predictions]:
+        prev_owner = ml.pred.last_owner
+        in_upset = (prev_owner is not None
+                    and new_owner in ml.last_owner_update_set)
+        invalidate = self._invalidate_list(ml, new_owner, in_upset)
+        last_owner_counter = ml.last_owner_counter
+        ml.pred.record_grant(new_owner)
+        ml.last_owner_counter = ml.pred.acquire_counter
+        predictions: Predictions = {
+            "lap": self.predictor.predict(ml.pred, new_owner),
+            "waitq": self.predictor.predict_waitq(ml.pred, new_owner),
+            "waitq_affinity": self.predictor.predict_waitq_affinity(
+                ml.pred, new_owner),
+            "waitq_virtualq": self.predictor.predict_waitq_virtualq(
+                ml.pred, new_owner),
+        }
+        update_set = predictions["lap"] if self.use_lap else []
+        ml.holder_update_set = update_set
+        grant = GrantInfo(
+            lock_id=ml.pred.lock_id,
+            acquire_counter=ml.pred.acquire_counter,
+            last_owner=prev_owner,
+            last_owner_counter=last_owner_counter,
+            in_update_set=in_upset,
+            invalidate=invalidate,
+            update_set=update_set,
+        )
+        return grant, predictions
+
+    def _invalidate_list(self, ml: ManagedLock, new_owner: int,
+                         in_upset: bool) -> List[Tuple[int, int]]:
+        """Pages the new owner must invalidate, with their last modifiers.
+
+        In-update-set acquirers already receive the last releaser's merged
+        diffs, so only history pages *not covered* by those diffs need
+        invalidating; others get the full history.  Pages last modified by
+        the new owner itself are current locally and are skipped.
+        """
+        out: List[Tuple[int, int]] = []
+        for pg, modifier in ml.history.items():
+            if modifier == new_owner:
+                continue
+            if in_upset and pg in ml.coverage:
+                continue
+            out.append((pg, modifier))
+        return out

@@ -1,0 +1,913 @@
+"""The Affinity Entry Consistency protocol engine (Section 3 of the paper).
+
+One ``AECNode`` per simulated processor.  Program-side operations
+(``acquire``/``release``/``barrier``/faults) are generators driven by the
+node's program task; manager roles (lock managers, the barrier manager on
+node 0) and all servicing run in interrupt service routines.
+
+Key protocol behaviours implemented here, in the paper's terms:
+
+* lock acquirers overlap applying buffered update-set diffs and creating
+  outside-of-CS diffs with the wait for the manager's reply (Section 3.2);
+* lock releasers create diffs of pages modified inside the critical section,
+  merge them with the diffs received from the last owner, and eagerly push
+  the merged diffs to their LAP-predicted update set;
+* barrier-protected (outside-of-CS) data is kept coherent with write notices
+  and on-demand diff fetches; diff creation at barriers is overlapped with
+  the barrier wait and filtered to pages other processors actually use;
+* every page has a home node (reassigned each barrier step) that helps
+  processors without a valid copy reconstruct pages on access faults.
+"""
+from __future__ import annotations
+
+from typing import Dict, Generator, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.config import SimConfig
+from repro.core.aec.barrier_manager import (AECBarrierManager, ArrivalInfo,
+                                            BarrierInstructions)
+from repro.core.aec.lock_manager import AECLockManager, GrantInfo
+from repro.core.aec.state import AECPageMeta, LockSessionState, PendingUpdate
+from repro.core.lap.predictor import LapPredictor
+from repro.core.lap.stats import LapStats
+from repro.engine.events import Delay, Resolve, Send, Wait
+from repro.engine.future import Future
+from repro.memory.diff import Diff, merge_diffs
+from repro.memory.write_notice import WriteNotice
+from repro.network.message import Message
+from repro.protocols.base import ProtocolNode, World
+
+
+class AECNode(ProtocolNode):
+    name = "aec"
+    page_meta_factory = AECPageMeta
+
+    def __init__(self, world: World, node_id: int) -> None:
+        super().__init__(world, node_id)
+        cfg: SimConfig = world.config
+        self.use_lap = cfg.use_lap
+        predictor = self._make_predictor(cfg)
+        self.lock_mgr = AECLockManager(node_id, self.machine.num_procs,
+                                       predictor, cfg.use_lap)
+        if node_id == 0:
+            self.bar_mgr = AECBarrierManager(self.machine.num_procs,
+                                             self.layout.total_pages)
+            if world.lap_stats is None and cfg.track_lap_stats:
+                world.lap_stats = LapStats(self.sync.num_locks)
+        else:
+            self.bar_mgr = None
+
+        # ---- program-side state
+        self.step = 0
+        self.lock_stack: List[int] = []
+        self.sessions: Dict[int, LockSessionState] = {}
+        self.pending_updates: Dict[int, PendingUpdate] = {}
+        #: (lock, sender, counter) the acquirer is blocked on, with future
+        self._upset_expect: Optional[Tuple[int, int, int, Future]] = None
+        self._grant_futs: Dict[int, Future] = {}
+        self.outside_mod_set: Set[int] = set()      # modified outside, this step
+        self.outside_dirty_set: Set[int] = set()    # twins with unfrozen mods
+        self.accessed_step: Set[int] = set()
+        self.gained_valid: Set[int] = set()
+        self.lost_valid: Set[int] = set()
+        self.others_accessed_prev: Set[int] = set()
+        self.requests_seen: Dict[int, int] = {}
+        self.homes: Dict[int, int] = {}
+        # ---- barrier exchange bookkeeping
+        self._bar_complete_fut: Optional[Future] = None
+        self._bar_instr: Optional[BarrierInstructions] = None
+        self._bar_recv_diffs = 0
+        self._bar_recv_wns = 0
+        self._bar_sends_done = False
+        self._bar_done_sent = False
+        # ---- request/reply plumbing
+        self._replies: Dict[int, Future] = {}
+        self._req_seq = 0
+        self._freeze_seq = 0
+
+        self._handlers = {
+            "aec.lock_req": self._on_lock_req,
+            "aec.lock_grant": self._on_lock_grant,
+            "aec.lock_release": self._on_lock_release,
+            "aec.notice": self._on_notice,
+            "aec.upset_diffs": self._on_upset_diffs,
+            "aec.cs_diff_req": self._on_cs_diff_req,
+            "aec.wn_diff_req": self._on_wn_diff_req,
+            "aec.page_req": self._on_page_req,
+            "aec.reply": self._on_reply,
+            "aec.bar_arrive": self._on_bar_arrive,
+            "aec.bar_lists": self._on_bar_lists,
+            "aec.bar_diffs": self._on_bar_diffs,
+            "aec.bar_wn": self._on_bar_wn,
+            "aec.bar_done": self._on_bar_done,
+            "aec.bar_complete": self._on_bar_complete,
+        }
+
+    # ===================================================== helpers
+
+    def _make_predictor(self, cfg: SimConfig) -> LapPredictor:
+        """Build the manager's update-set predictor (hook for variants)."""
+        return LapPredictor(cfg.update_set_size, cfg.affinity_threshold)
+
+    def session(self, lock_id: int) -> LockSessionState:
+        s = self.sessions.get(lock_id)
+        if s is None:
+            s = LockSessionState()
+            self.sessions[lock_id] = s
+        return s
+
+    def _next_req(self) -> int:
+        self._req_seq += 1
+        return self._req_seq
+
+    def _request(self, dst: int, kind: str, payload: dict, nbytes: int,
+                 category: str) -> Generator:
+        """Send a request and block until the reply arrives; returns it."""
+        rid = (self.node_id, self._next_req())
+        fut = self.new_future(kind)
+        self._replies[rid] = fut
+        payload = dict(payload, req_id=rid, requester=self.node_id)
+        yield Send(dst, Message(kind, payload, nbytes), category)
+        reply = yield Wait(fut, category)
+        return reply
+
+    def _reply(self, msg: Message, payload: dict, nbytes: int) -> Message:
+        return Message("aec.reply",
+                       dict(payload, req_id=msg.payload["req_id"]), nbytes)
+
+    def _on_reply(self, msg: Message):
+        fut = self._replies.pop(msg.payload["req_id"])
+        yield Resolve(fut, msg.payload)
+
+    def _list_delay(self, nelements: int, category: str) -> Delay:
+        return Delay(self.machine.list_cycles(max(nelements, 1)), category)
+
+    def _push_filter(self, lock_id: int, sess: LockSessionState,
+                     pn: int) -> bool:
+        """Whether page ``pn``'s merged diff joins the eager push (hook for
+        adaptive variants; AEC pushes everything)."""
+        return True
+
+    # ===================================================== access tracking
+
+    def read(self, addr: int, nwords: int) -> Generator:
+        pages = self.layout.pages_of_range(addr, nwords)
+        self.accessed_step.update(pages)
+        if self.lock_stack:
+            self.session(self.lock_stack[-1]).accessed_inside.update(pages)
+        data = yield from super().read(addr, nwords)
+        return data
+
+    def write(self, addr: int, values: np.ndarray) -> Generator:
+        pages = self.layout.pages_of_range(addr, len(values))
+        self.accessed_step.update(pages)
+        if self.lock_stack:
+            self.session(self.lock_stack[-1]).accessed_inside.update(pages)
+        yield from super().write(addr, values)
+
+    # ===================================================== outside-diff engine
+
+    def _outside_stamp(self, epoch: int) -> int:
+        """Epoch-major stamp for a frozen outside diff: orders diffs of
+        different writers by barrier step, and a node's own freezes by
+        sequence within the step."""
+        self._freeze_seq += 1
+        return (max(epoch, 0) << 24) | self._freeze_seq
+
+    def _freeze_outside_diff(self, pn: int, category: str,
+                             hidden_behind: Optional[Future] = None
+                             ) -> Generator:
+        """Freeze the diff of a page modified outside CSs and write-protect.
+
+        The twin is refreshed to the current contents ("reutilized"), so
+        each frozen diff holds exactly one epoch's worth of modifications —
+        write-notice holders fetch the epochs they are missing on faults.
+        """
+        meta: AECPageMeta = self.page(pn)
+        if pn in self.outside_dirty_set and meta.twin is not None:
+            diff = yield from self.create_diff_timed(pn, category, hidden_behind)
+            diff.acquire_counter = self._outside_stamp(meta.dirty_since_step)
+            self._commit_frozen(meta, diff)
+            meta.twin[:] = self.store.page(pn)
+            meta.dirty_since_step = -1
+            self.outside_dirty_set.discard(pn)
+        if meta.writable:
+            meta.writable = False
+            self.hw.page_protection_changed(pn)
+
+    def _commit_frozen(self, meta: AECPageMeta, diff: Diff) -> None:
+        """Record a frozen diff and stamp our own words so that stale diffs
+        arriving later cannot overwrite what we just wrote."""
+        if diff.empty:
+            return
+        meta.frozen_outside.append(diff)
+        stamps = self._word_stamps(meta)
+        stamps[diff.offsets] = np.maximum(stamps[diff.offsets],
+                                          diff.acquire_counter)
+
+    def _serve_outside_diffs(self, pn: int, floor: int) -> Generator:
+        """On-demand freeze + serve, used in ISRs (cost exposed, ipc)."""
+        meta: AECPageMeta = self.page(pn)
+        if pn in self.outside_dirty_set and meta.twin is not None:
+            diff = yield from self.create_diff_timed(pn, "ipc", None)
+            diff.acquire_counter = self._outside_stamp(meta.dirty_since_step)
+            self._commit_frozen(meta, diff)
+            meta.twin[:] = self.store.page(pn)
+            meta.dirty_since_step = -1
+            self.outside_dirty_set.discard(pn)
+            if meta.writable:
+                meta.writable = False
+                self.hw.page_protection_changed(pn)
+        return [d for d in meta.frozen_outside if d.acquire_counter > floor]
+
+    def _word_stamps(self, meta: AECPageMeta) -> "np.ndarray":
+        if meta.word_stamps is None:
+            meta.word_stamps = np.full(self.page_words(), -1, dtype=np.int64)
+        return meta.word_stamps
+
+    def _apply_cs_diff(self, pn: int, diff: Diff, category: str,
+                       hidden_behind: Optional[Future] = None) -> Generator:
+        """Apply a lock-protected (merged) diff and stamp its words as
+        current-step data.
+
+        Words can legally move between the outside-of-CS and lock-protected
+        domains across barriers (e.g. initialized at start-up, then managed
+        under a lock).  Without the stamp, a stale *outside* diff resolved
+        later from an old write notice would overwrite the newer
+        lock-protected value.
+        """
+        meta: AECPageMeta = self.page(pn)
+        yield from self.apply_diff_timed(diff, category, hidden_behind)
+        if diff.nwords:
+            stamps = self._word_stamps(meta)
+            stamps[diff.offsets] = np.maximum(stamps[diff.offsets],
+                                              self.step << 24)
+
+    def _apply_outside_diff(self, pn: int, diff: Diff, category: str,
+                            hidden_behind: Optional[Future] = None
+                            ) -> Generator:
+        """Apply an outside diff with per-word max-stamp-wins semantics."""
+        meta: AECPageMeta = self.page(pn)
+        page = self.store.page(pn)
+        start = self.now()
+        cycles = self.machine.diff_apply_cycles(max(diff.nwords, 1))
+        yield Delay(cycles, category)
+        end = self.now()
+        stamps = self._word_stamps(meta)
+        mask = diff.acquire_counter > stamps[diff.offsets]
+        if (meta.twin is not None and pn in self.outside_dirty_set
+                and diff.acquire_counter < ((meta.dirty_since_step + 1) << 24)):
+            # don't clobber words we modified locally in this epoch or later
+            # and have not frozen yet; a diff from a genuinely newer barrier
+            # step still wins (its writer synchronized with our value first)
+            mask &= page[diff.offsets] == meta.twin[diff.offsets]
+        offs = diff.offsets[mask]
+        if len(offs):
+            page[offs] = diff.values[mask]
+            stamps[offs] = diff.acquire_counter
+            if meta.twin is not None:
+                meta.twin[offs] = diff.values[mask]
+            self.hw.page_updated(self.page_addr(pn), self.page_words())
+        hidden = self._hidden_portion(start, end, cycles, hidden_behind)
+        self.world.diff_stats.record_apply(cycles, hidden)
+
+    # ===================================================== fault handling
+
+    def handle_read_fault(self, pn: int) -> Generator:
+        yield from self._make_valid(pn)
+
+    def handle_write_fault(self, pn: int) -> Generator:
+        meta: AECPageMeta = self.page(pn)
+        if not meta.valid:
+            yield from self._make_valid(pn)
+        if self.lock_stack:
+            lock = self.lock_stack[-1]
+            sess = self.session(lock)
+            if meta.twin is not None and meta.inside_lock is None:
+                # modified outside before entering the CS: the outside diff
+                # must be created now and the twin eliminated (Section 3.4)
+                yield from self._freeze_outside_diff(pn, "data")
+                meta.twin = None
+            if meta.twin is None:
+                yield from self.make_twin(pn, "data")
+            meta.inside_lock = lock
+            sess.current_cs_mods.add(pn)
+        else:
+            if meta.inside_lock is not None:
+                meta.inside_lock = None
+                meta.twin = None  # post-release twin was dropped; re-twin
+            if meta.twin is None:
+                yield from self.make_twin(pn, "data")
+            self.outside_mod_set.add(pn)
+            self.outside_dirty_set.add(pn)
+            if meta.dirty_since_step < 0:
+                meta.dirty_since_step = self.step
+        meta.valid = True
+        meta.writable = True
+        self.hw.page_protection_changed(pn)
+
+    def _buffered_update_diff(self, pn: int) -> Optional[Tuple[int, Diff]]:
+        """A diff for ``pn`` buffered because we are in someone's update set."""
+        for lock in reversed(self.lock_stack):
+            pu = self.pending_updates.get(lock)
+            if pu and pn in pu.diffs and pn not in pu.applied:
+                sess = self.sessions.get(lock)
+                if sess and sess.last_owner == pu.sender:
+                    return lock, pu.diffs[pn]
+        return None
+
+    def _make_valid(self, pn: int) -> Generator:
+        """Bring the local copy of ``pn`` up to date (fault resolution)."""
+        meta: AECPageMeta = self.page(pn)
+        had_copy = self.store.has(pn)
+        notices = list(meta.pending_notices)
+        refetch = (not had_copy or meta.needs_refetch
+                   or (meta.cs_diff_source is None and not notices
+                       and self._buffered_update_diff(pn) is None))
+        if refetch:
+            # capture any local unfrozen modifications first: the refetched
+            # content would otherwise silently revert them
+            if pn in self.outside_dirty_set and meta.twin is not None:
+                yield from self._freeze_outside_diff(pn, "data")
+            # ask the page's home for the page (plus any write notices the
+            # home knows we will need)
+            home = self.homes.get(pn, 0)
+            if home == self.node_id:
+                self.store.ensure(pn)
+            else:
+                reply = yield from self._request(
+                    home, "aec.page_req", {"pn": pn},
+                    nbytes=8, category="data")
+                self.store.ensure(pn, reply["content"])
+                self.hw.page_updated(self.page_addr(pn), self.page_words())
+                if reply["word_stamps"] is not None:
+                    meta.word_stamps = reply["word_stamps"].copy()
+                else:
+                    meta.word_stamps = None
+                if meta.twin is not None:
+                    meta.twin[:] = reply["content"]
+                for wn in reply["notices"]:
+                    if wn not in notices and wn.writer != self.node_id:
+                        notices.append(wn)
+                # restore our own frozen modifications the home's copy may
+                # not have seen (word stamps arbitrate)
+                for own in meta.frozen_outside:
+                    yield from self._apply_outside_diff(pn, own, "data")
+                self.fault_stats.remote_resolutions += 1
+        # lock-protected history
+        buffered = self._buffered_update_diff(pn)
+        if buffered is not None:
+            lock, diff = buffered
+            yield from self._apply_cs_diff(pn, diff, "data")
+            self.pending_updates[lock].applied.add(pn)
+            self._absorb_lock_diff(lock, diff)
+            self.fault_stats.local_resolutions += 1
+        elif meta.cs_diff_source is not None:
+            lock, modifier = meta.cs_diff_source
+            if modifier != self.node_id:
+                reply = yield from self._request(
+                    modifier, "aec.cs_diff_req", {"lock": lock, "pn": pn},
+                    nbytes=12, category="data")
+                for d in reply["diffs"]:
+                    yield from self._apply_cs_diff(pn, d, "data")
+                    self._absorb_lock_diff(lock, d)
+                self.fault_stats.remote_resolutions += 1
+            meta.cs_diff_source = None
+        # outside-of-CS history: fetch the missing epochs from every writer
+        # named in our write notices, then apply in global epoch order
+        writers = sorted({wn.writer for wn in notices
+                          if wn.writer != self.node_id})
+        collected: List[Diff] = []
+        for writer in writers:
+            floor = meta.applied_outside.get(writer, -1)
+            reply = yield from self._request(
+                writer, "aec.wn_diff_req", {"pn": pn, "floor": floor},
+                nbytes=12, category="data")
+            for d in reply["diffs"]:
+                d.origin = writer
+                collected.append(d)
+            self.fault_stats.remote_resolutions += 1
+        collected.sort(key=lambda d: (d.acquire_counter, d.origin))
+        for diff in collected:
+            yield from self._apply_outside_diff(pn, diff, "data")
+            prev = meta.applied_outside.get(diff.origin, -1)
+            meta.applied_outside[diff.origin] = max(prev, diff.acquire_counter)
+        meta.pending_notices.clear()
+        meta.cs_diff_source = None
+        meta.needs_refetch = False
+        meta.valid = True
+        meta.ever_valid = True
+        self.gained_valid.add(pn)
+        self.lost_valid.discard(pn)
+
+    def _absorb_lock_diff(self, lock: int, diff: Diff) -> None:
+        """Fold a fetched/buffered CS diff into our per-lock history."""
+        sess = self.session(lock)
+        if diff.origin >= 0:
+            sess.writers.setdefault(diff.page_number, set()).add(diff.origin)
+        sess.diff_store[diff.page_number] = merge_diffs(
+            sess.diff_store.get(diff.page_number), diff)
+
+    # ===================================================== locks (program side)
+
+    def acquire_notice(self, lock_id: int) -> Generator:
+        mgr = self.sync.lock_manager(lock_id)
+        yield Send(mgr, Message("aec.notice",
+                                {"lock": lock_id, "proc": self.node_id}, 4),
+                   "busy")
+
+    def acquire(self, lock_id: int) -> Generator:
+        mgr = self.sync.lock_manager(lock_id)
+        fut = self.new_future(f"grant{lock_id}")
+        self._grant_futs[lock_id] = fut
+        self.world.trace.record(self.now(), self.node_id, "lock.request",
+                                lock=lock_id)
+        yield Send(mgr, Message("aec.lock_req",
+                                {"lock": lock_id, "requester": self.node_id}, 4),
+                   "synch")
+        # --- overlap phase 1: apply buffered update-set diffs to valid pages
+        pu = self.pending_updates.get(lock_id)
+        if pu is not None and pu.acquire_counter <= \
+                self.session(lock_id).acquire_counter:
+            # pushed before (or during) our own last tenure of the lock:
+            # necessarily stale — applying it would roll our data back
+            self.pending_updates.pop(lock_id, None)
+            self.world.diff_stats.diffs_wasted += len(pu.diffs) - len(pu.applied)
+            pu = None
+        if pu is not None:
+            for pn in sorted(pu.diffs):
+                if fut.done:
+                    break
+                if pn in pu.applied:
+                    continue
+                meta: AECPageMeta = self.page(pn)
+                if meta.valid and self.store.has(pn):
+                    yield from self._apply_cs_diff(
+                        pn, pu.diffs[pn], "synch", hidden_behind=fut)
+                    if meta.twin is not None:
+                        pu.diffs[pn].apply(meta.twin)
+                    pu.applied.add(pn)
+        # --- overlap phase 2: create outside diffs until the reply arrives
+        for pn in sorted(self.outside_dirty_set.copy()):
+            if fut.done:
+                break
+            yield from self._freeze_outside_diff(pn, "synch", hidden_behind=fut)
+        grant: GrantInfo = yield Wait(fut, "synch")
+        self._grant_futs.pop(lock_id, None)
+        sess = self.session(lock_id)
+        sess.acquire_counter = grant.acquire_counter
+        sess.last_owner = grant.last_owner
+        sess.owned_this_step = True
+        sess.update_set = grant.update_set
+        self.lock_stack.append(lock_id)
+        self.locks_held.add(lock_id)
+
+        if grant.last_owner is None or grant.last_owner == self.node_id:
+            # trivial reacquire: no diffs to apply, nothing to invalidate;
+            # anything still buffered predates our tenure and is garbage
+            stale = self.pending_updates.pop(lock_id, None)
+            if stale is not None:
+                self.world.diff_stats.diffs_wasted += \
+                    len(stale.diffs) - len(stale.applied)
+            return
+
+        if grant.in_update_set:
+            # the last releaser pushed its merged diffs at us; make sure they
+            # arrived (they were sent before the release message we just saw
+            # the effect of, but the direct message may still be in flight)
+            pu = self.pending_updates.get(lock_id)
+            if (pu is None or pu.sender != grant.last_owner
+                    or pu.acquire_counter != grant.last_owner_counter):
+                wait_fut = self.new_future(f"upset{lock_id}")
+                self._upset_expect = (lock_id, grant.last_owner,
+                                      grant.last_owner_counter, wait_fut)
+                yield Wait(wait_fut, "synch")
+                self._upset_expect = None
+                pu = self.pending_updates.get(lock_id)
+            assert pu is not None
+            # apply remaining diffs for valid pages (now exposed)
+            for pn in sorted(pu.diffs):
+                if pn in pu.applied:
+                    self._absorb_lock_diff(lock_id, pu.diffs[pn])
+                    continue
+                meta = self.page(pn)
+                if meta.valid and self.store.has(pn):
+                    yield from self._apply_cs_diff(pn, pu.diffs[pn], "synch")
+                    if meta.twin is not None:
+                        pu.diffs[pn].apply(meta.twin)
+                    pu.applied.add(pn)
+                    self._absorb_lock_diff(lock_id, pu.diffs[pn])
+                # invalid pages: the buffered diff is applied at fault time
+        else:
+            # stale buffered updates (if any) are now useless
+            pu = self.pending_updates.pop(lock_id, None)
+            if pu is not None:
+                self.world.diff_stats.diffs_wasted += len(pu.diffs) - len(pu.applied)
+        # invalidate pages modified inside this CS by other processors
+        inval = [(pg, mod) for pg, mod in grant.invalidate]
+        if inval:
+            yield self._list_delay(len(inval), "synch")
+        for pg, modifier in inval:
+            meta = self.page(pg)
+            pu = self.pending_updates.get(lock_id)
+            if pu is not None and pg in pu.applied:
+                continue  # already brought current by the pushed diffs
+            if meta.valid:
+                meta.valid = False
+                meta.writable = False
+                self.hw.page_protection_changed(pg)
+                self.lost_valid.add(pg)
+                self.gained_valid.discard(pg)
+            meta.cs_diff_source = (lock_id, modifier)
+
+    def release(self, lock_id: int) -> Generator:
+        if not self.lock_stack or self.lock_stack[-1] != lock_id:
+            raise RuntimeError(
+                f"node {self.node_id}: release of {lock_id} but stack is "
+                f"{self.lock_stack}"
+            )
+        sess = self.session(lock_id)
+        # 1. create diffs for pages modified inside the CS (not overlappable:
+        #    the next acquirer must not see stale data)
+        for pn in sorted(sess.current_cs_mods):
+            meta: AECPageMeta = self.page(pn)
+            if meta.twin is None:
+                raise RuntimeError(f"inside-modified page {pn} lost its twin")
+            diff = yield from self.create_diff_timed(pn, "synch", None)
+            diff.acquire_counter = sess.acquire_counter
+            old = sess.diff_store.get(pn)
+            merged = merge_diffs(old, diff)
+            merged.acquire_counter = sess.acquire_counter
+            if old is not None and not old.empty:
+                # merge cost: list processing over the words merged
+                yield self._list_delay(merged.nwords, "synch")
+                self.world.diff_stats.record_merge(merged.size_bytes)
+            sess.diff_store[pn] = merged
+            sess.writers.setdefault(pn, set()).add(self.node_id)
+            sess.step_mods.add(pn)
+            meta.twin = None
+            meta.inside_lock = None
+            if meta.writable:
+                meta.writable = False
+                self.hw.page_protection_changed(pn)
+        sess.current_cs_mods.clear()
+        # 2. push the merged diffs to the update set (always send, even when
+        #    empty: an in-update-set acquirer blocks until this arrives).
+        #    Subclasses may gate individual pages out of the push (ADSM);
+        #    the coverage reported to the manager must match what was
+        #    actually pushed, so non-pushed pages still get invalidated.
+        pushed = {pn: d for pn, d in sess.diff_store.items()
+                  if self._push_filter(lock_id, sess, pn)}
+        for q in sess.update_set:
+            diffs = {pn: d.copy() for pn, d in pushed.items()}
+            nbytes = sum(d.size_bytes + 8 for d in diffs.values()) or 4
+            payload = {
+                "lock": lock_id,
+                "counter": sess.acquire_counter,
+                "sender": self.node_id,
+                "diffs": diffs,
+            }
+            yield Send(q, Message("aec.upset_diffs", payload, nbytes),
+                       "synch")
+        self.world.trace.record(self.now(), self.node_id, "lock.release",
+                                lock=lock_id,
+                                pushed_to=list(sess.update_set),
+                                pages=len(pushed))
+        # 3. tell the manager we are giving up ownership
+        covered = sorted(pushed)
+        modified = sorted(sess.step_mods)
+        payload = {
+            "lock": lock_id,
+            "releaser": self.node_id,
+            "covered": covered,
+            "modified": modified,
+        }
+        yield Send(self.sync.lock_manager(lock_id),
+                   Message("aec.lock_release", payload,
+                           4 * (len(covered) + len(modified))),
+                   "synch")
+        # 4. unprotect pages modified outside and not inside this CS: their
+        #    speculative outside diffs are kept (semantically equivalent to
+        #    the paper's discard-and-reuse-twin; see DESIGN.md)
+        self.lock_stack.pop()
+        self.locks_held.discard(lock_id)
+
+    # ===================================================== barriers (program)
+
+    def barrier(self, barrier_id: int) -> Generator:
+        if self.lock_stack:
+            raise RuntimeError(
+                f"node {self.node_id}: barrier while holding locks "
+                f"{self.lock_stack}")
+        mgr = self.sync.barrier_manager(barrier_id)
+        complete_fut = self.new_future(f"bar{barrier_id}")
+        self._bar_complete_fut = complete_fut
+        self._bar_instr = None
+        self._bar_recv_diffs = 0
+        self._bar_recv_wns = 0
+        self._bar_sends_done = False
+        self._bar_done_sent = False
+        info = ArrivalInfo(
+            node=self.node_id,
+            lock_sessions={
+                lock: (s.acquire_counter, sorted(s.step_mods),
+                       sorted(s.diff_store))
+                for lock, s in self.sessions.items() if s.owned_this_step
+            },
+            outside_mod_pages=sorted(self.outside_mod_set),
+            accessed_pages=sorted(self.accessed_step),
+            gained_valid=sorted(self.gained_valid),
+            lost_valid=sorted(self.lost_valid),
+        )
+        self.gained_valid.clear()
+        self.lost_valid.clear()
+        yield self._list_delay(info.element_count, "synch")
+        self.world.trace.record(self.now(), self.node_id, "barrier.arrive",
+                                step=self.step)
+        yield Send(mgr, Message("aec.bar_arrive", info,
+                                4 * max(info.element_count, 1)), "synch")
+        # overlap: create outside diffs for pages other processors used in
+        # the previous step and actually requested from us before
+        for pn in sorted(self.outside_mod_set):
+            if complete_fut.done:
+                break
+            if (pn in self.others_accessed_prev
+                    and self.requests_seen.get(pn, 0) > 0):
+                yield from self._freeze_outside_diff(
+                    pn, "synch", hidden_behind=complete_fut)
+        payload = yield Wait(complete_fut, "synch")
+        self._bar_complete_fut = None
+        self.world.trace.record(self.now(), self.node_id, "barrier.complete",
+                                step=payload["step"])
+        yield from self._post_barrier_cleanup(payload)
+
+    def _post_barrier_cleanup(self, payload: dict) -> Generator:
+        self.step = payload["step"]
+        # re-protect pages modified outside so next step's writes are caught
+        if self.outside_mod_set:
+            yield self._list_delay(len(self.outside_mod_set), "synch")
+        for pn in self.outside_mod_set:
+            meta: AECPageMeta = self.page(pn)
+            if meta.writable:
+                meta.writable = False
+                self.hw.page_protection_changed(pn)
+        self.outside_mod_set.clear()
+        # per-step lock state is obsolete after a barrier
+        for lock, sess in self.sessions.items():
+            sess.diff_store.clear()
+            sess.step_mods.clear()
+            sess.accessed_inside.clear()
+            sess.writers.clear()
+            sess.owned_this_step = False
+        for lock, pu in self.pending_updates.items():
+            self.world.diff_stats.diffs_wasted += len(pu.diffs) - len(pu.applied)
+        self.pending_updates.clear()
+        for meta in self.pages.values():
+            if isinstance(meta, AECPageMeta):
+                meta.cs_diff_source = None
+        self.accessed_step.clear()
+        instr = self._bar_instr
+        if instr is not None:
+            # cumulative union: the filter's purpose is "never create diffs
+            # of pages nobody else uses"; phase-structured programs touch
+            # shared data several barriers before modifying it again
+            self.others_accessed_prev |= set(instr.others_accessed)
+            self.homes.update(instr.homes)
+        self._bar_instr = None
+
+    # ===================================================== ISR handlers
+
+    # ---- lock manager role
+
+    def _on_lock_req(self, msg: Message):
+        lock_id = msg.payload["lock"]
+        requester = msg.payload["requester"]
+        yield self._list_delay(self.machine.num_procs, "ipc")
+        result = self.lock_mgr.request(lock_id, requester)
+        if result is not None:
+            grant, predictions = result
+            yield from self._send_grant(requester, grant, predictions)
+
+    def _on_lock_release(self, msg: Message):
+        p = msg.payload
+        yield self._list_delay(len(p["covered"]) + len(p["modified"]), "ipc")
+        result = self.lock_mgr.release(p["lock"], p["releaser"],
+                                       p["covered"], p["modified"])
+        if result is not None:
+            nxt, grant, predictions = result
+            yield from self._send_grant(nxt, grant, predictions)
+
+    def _on_notice(self, msg: Message):
+        self.lock_mgr.notice(msg.payload["lock"], msg.payload["proc"])
+        yield Delay(self.machine.list_cycles(1), "ipc")
+
+    def _send_grant(self, dst: int, grant: GrantInfo, predictions) -> Generator:
+        self.world.count_acquire(grant.lock_id)
+        self.world.trace.record(self.now(), dst, "lock.grant",
+                                lock=grant.lock_id,
+                                last_owner=grant.last_owner,
+                                in_upset=grant.in_update_set,
+                                update_set=list(grant.update_set))
+        if self.world.lap_stats is not None:
+            self.world.lap_stats.record_grant(
+                grant.lock_id, dst, grant.last_owner, predictions)
+        nbytes = 16 + 8 * len(grant.invalidate) + 4 * len(grant.update_set)
+        yield Send(dst, Message("aec.lock_grant", grant, nbytes), "ipc")
+
+    # ---- lock client side
+
+    def _on_lock_grant(self, msg: Message):
+        grant: GrantInfo = msg.payload
+        fut = self._grant_futs.get(grant.lock_id)
+        if fut is None:
+            raise RuntimeError(
+                f"node {self.node_id}: unexpected grant for lock "
+                f"{grant.lock_id}")
+        yield Resolve(fut, grant)
+
+    def _on_upset_diffs(self, msg: Message):
+        p = msg.payload
+        lock_id, counter, sender = p["lock"], p["counter"], p["sender"]
+        old = self.pending_updates.get(lock_id)
+        if old is not None and old.acquire_counter >= counter:
+            # outdated set: discard (the acquire-counter stamp decides)
+            self.world.diff_stats.diffs_wasted += len(p["diffs"])
+            yield Delay(self.machine.list_cycles(len(p["diffs"])), "ipc")
+            return
+        if old is not None:
+            self.world.diff_stats.diffs_wasted += len(old.diffs) - len(old.applied)
+        self.pending_updates[lock_id] = PendingUpdate(
+            lock_id=lock_id, acquire_counter=counter, sender=sender,
+            diffs=p["diffs"])
+        yield Delay(self.machine.list_cycles(len(p["diffs"])), "ipc")
+        expect = self._upset_expect
+        if (expect is not None and expect[0] == lock_id
+                and expect[1] == sender and expect[2] == counter):
+            yield Resolve(expect[3], None)
+
+    # ---- diff / page servicing
+
+    def _on_cs_diff_req(self, msg: Message):
+        lock_id, pn = msg.payload["lock"], msg.payload["pn"]
+        self.requests_seen[pn] = self.requests_seen.get(pn, 0) + 1
+        sess = self.sessions.get(lock_id)
+        diffs: List[Diff] = []
+        if sess is not None and pn in sess.diff_store:
+            diffs = [sess.diff_store[pn].copy()]
+        if not diffs:
+            raise RuntimeError(
+                f"node {self.node_id}: no CS diff history for lock {lock_id} "
+                f"page {pn} (requested by node {msg.payload['requester']})")
+        nbytes = sum(d.size_bytes + 8 for d in diffs)
+        yield Delay(self.machine.list_cycles(len(diffs)), "ipc")
+        yield Send(msg.payload["requester"],
+                   self._reply(msg, {"diffs": diffs}, nbytes), "ipc")
+
+    def _on_wn_diff_req(self, msg: Message):
+        pn = msg.payload["pn"]
+        self.requests_seen[pn] = self.requests_seen.get(pn, 0) + 1
+        diffs = yield from self._serve_outside_diffs(pn, msg.payload["floor"])
+        diffs = [d.copy() for d in diffs]
+        nbytes = sum(d.size_bytes + 8 for d in diffs) or 4
+        yield Send(msg.payload["requester"],
+                   self._reply(msg, {"diffs": diffs}, nbytes), "ipc")
+
+    def _on_page_req(self, msg: Message):
+        pn = msg.payload["pn"]
+        self.requests_seen[pn] = self.requests_seen.get(pn, 0) + 1
+        if not self.store.has(pn):
+            raise RuntimeError(
+                f"node {self.node_id}: page request for {pn} but no copy "
+                f"(home table stale?)")
+        # make our copy as current as we cheaply can before serving
+        meta: AECPageMeta = self.page(pn)
+        content = self.store.page(pn).copy()
+        notices = list(meta.pending_notices)
+        stamps = None if meta.word_stamps is None else meta.word_stamps.copy()
+        yield Delay(self.machine.mem_access_cycles(self.page_words()), "ipc")
+        yield Send(msg.payload["requester"],
+                   self._reply(msg, {"pn": pn, "content": content,
+                                     "notices": notices,
+                                     "word_stamps": stamps},
+                               self.machine.page_bytes + 8 * len(notices)),
+                   "ipc")
+
+    # ---- barrier roles
+
+    def _on_bar_arrive(self, msg: Message):
+        info: ArrivalInfo = msg.payload
+        assert self.bar_mgr is not None, "bar_arrive at non-manager node"
+        yield self._list_delay(info.element_count, "ipc")
+        if self.bar_mgr.arrive(info):
+            instructions = self.bar_mgr.compute()
+            total = sum(i.element_count for i in instructions.values())
+            yield self._list_delay(total, "ipc")
+            for node, instr in sorted(instructions.items()):
+                yield Send(node, Message("aec.bar_lists", instr,
+                                         4 * max(instr.element_count, 1)),
+                           "ipc")
+
+    def _on_bar_lists(self, msg: Message):
+        instr: BarrierInstructions = msg.payload
+        self._bar_instr = instr
+        yield self._list_delay(instr.element_count, "ipc")
+        # stale copies that lazy recovery cannot repair: drop recovery state
+        # so the next fault refetches the page from its home
+        for pn in sorted(instr.stale_pages):
+            meta: AECPageMeta = self.page(pn)
+            meta.pending_notices.clear()
+            meta.cs_diff_source = None
+            meta.needs_refetch = True
+            if meta.valid:
+                meta.valid = False
+                meta.writable = False
+                self.hw.page_protection_changed(pn)
+                self.lost_valid.add(pn)
+                self.gained_valid.discard(pn)
+        # push CS diffs we are responsible for
+        for lock, pages, dests in instr.cs_sends:
+            sess = self.sessions.get(lock)
+            diffs = {}
+            for pn in pages:
+                if sess is not None and pn in sess.diff_store:
+                    diffs[pn] = sess.diff_store[pn].copy()
+            nbytes = sum(d.size_bytes + 8 for d in diffs.values()) or 8
+            for d in dests:
+                yield Send(d, Message("aec.bar_diffs",
+                                      {"lock": lock, "diffs": dict(diffs)},
+                                      nbytes), "ipc")
+        # push write notices
+        for pn, epoch, dests in instr.wn_sends:
+            wn = WriteNotice(pn, self.node_id, epoch)
+            for d in dests:
+                yield Send(d, Message("aec.bar_wn", {"notices": [wn]}, 8),
+                           "ipc")
+        self._bar_sends_done = True
+        yield from self._maybe_barrier_done()
+
+    def _on_bar_diffs(self, msg: Message):
+        self._bar_recv_diffs += 1
+        for pn, diff in sorted(msg.payload["diffs"].items()):
+            if self.store.has(pn):
+                start = self.now()
+                cycles = self.machine.diff_apply_cycles(max(diff.nwords, 1))
+                yield Delay(cycles, "ipc")
+                diff.apply(self.store.page(pn))
+                meta: AECPageMeta = self.page(pn)
+                if meta.twin is not None:
+                    diff.apply(meta.twin)
+                self.hw.page_updated(self.page_addr(pn), self.page_words())
+                # the program task is blocked at the barrier: fully hidden
+                self.world.diff_stats.record_apply(cycles, cycles)
+        yield from self._maybe_barrier_done()
+
+    def _on_bar_wn(self, msg: Message):
+        self._bar_recv_wns += 1
+        for wn in msg.payload["notices"]:
+            meta: AECPageMeta = self.page(wn.page_number)
+            if wn.writer == self.node_id:
+                continue
+            if not self.store.has(wn.page_number):
+                continue
+            if wn not in meta.pending_notices:
+                meta.pending_notices.append(wn)
+            if meta.valid:
+                meta.valid = False
+                meta.writable = False
+                self.hw.page_protection_changed(wn.page_number)
+                self.lost_valid.add(wn.page_number)
+                self.gained_valid.discard(wn.page_number)
+        yield Delay(self.machine.list_cycles(len(msg.payload["notices"])),
+                    "ipc")
+        yield from self._maybe_barrier_done()
+
+    def _maybe_barrier_done(self) -> Generator:
+        instr = self._bar_instr
+        if (instr is None or self._bar_done_sent or not self._bar_sends_done
+                or self._bar_recv_diffs < instr.expect_diff_msgs
+                or self._bar_recv_wns < instr.expect_wn_msgs):
+            return
+        self._bar_done_sent = True
+        yield Send(0, Message("aec.bar_done", {"node": self.node_id}, 4),
+                   "ipc")
+
+    def _on_bar_done(self, msg: Message):
+        assert self.bar_mgr is not None
+        yield Delay(self.machine.list_cycles(1), "ipc")
+        if self.bar_mgr.node_done(msg.payload["node"]):
+            new_step = self.bar_mgr.complete()
+            self.world.barrier_events += 1
+            for node in range(self.machine.num_procs):
+                yield Send(node, Message("aec.bar_complete",
+                                         {"step": new_step}, 4), "ipc")
+
+    def _on_bar_complete(self, msg: Message):
+        fut = self._bar_complete_fut
+        if fut is None:
+            raise RuntimeError(
+                f"node {self.node_id}: bar_complete while not in a barrier")
+        # reset manager-role per-step state *now*: another node's post-barrier
+        # lock request may reach us before our own program task resumes
+        self.lock_mgr.reset_step_state()
+        yield Resolve(fut, msg.payload)

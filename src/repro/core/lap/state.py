@@ -1,0 +1,58 @@
+"""Per-lock prediction state held at the lock's manager.
+
+Bundles the three information sources LAP draws on: the real FIFO waiting
+queue, the virtual queue of acquire notices, and the affinity matrix.
+"""
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Optional
+
+from repro.core.lap.affinity import AffinityMatrix
+
+
+class LockPredictionState:
+    def __init__(self, lock_id: int, num_procs: int) -> None:
+        self.lock_id = lock_id
+        self.num_procs = num_procs
+        #: FIFO of processors blocked waiting for the lock (manager-side)
+        self.waiting_queue: Deque[int] = deque()
+        #: processors that announced intent via acquire notices, FIFO
+        self.virtual_queue: List[int] = []
+        self.affinity = AffinityMatrix(num_procs)
+        #: current holder (None while free) and last releaser
+        self.holder: Optional[int] = None
+        self.last_owner: Optional[int] = None
+        #: monotonically increasing grant counter (stamps merged diffs)
+        self.acquire_counter: int = 0
+
+    # ---- virtual queue ---------------------------------------------------
+
+    def add_notice(self, proc: int) -> None:
+        if proc not in self.virtual_queue:
+            self.virtual_queue.append(proc)
+
+    def consume_notice(self, proc: int) -> None:
+        try:
+            self.virtual_queue.remove(proc)
+        except ValueError:
+            pass
+
+    # ---- ownership tracking ------------------------------------------------
+
+    def record_grant(self, proc: int) -> None:
+        """Lock granted to ``proc``: update history and intent queues."""
+        prev = self.last_owner
+        if prev is not None and prev != proc:
+            self.affinity.record_transfer(prev, proc)
+        self.holder = proc
+        self.acquire_counter += 1
+        self.consume_notice(proc)
+
+    def record_release(self, proc: int) -> None:
+        if self.holder != proc:
+            raise RuntimeError(
+                f"lock {self.lock_id}: release by {proc}, holder is {self.holder}"
+            )
+        self.holder = None
+        self.last_owner = proc

@@ -1,0 +1,15 @@
+"""Execution-driven discrete-event simulation substrate.
+
+This package replaces the MINT front end / detailed back end pair used in the
+paper.  Simulated processors run Python generator coroutines that yield
+engine primitives (:class:`~repro.engine.events.Delay`,
+:class:`~repro.engine.events.Send`, :class:`~repro.engine.events.Wait`);
+the :class:`~repro.engine.simulator.Simulator` advances per-node timelines,
+delivers network messages and runs protocol message handlers as interrupt
+service routines that steal cycles from the interrupted computation.
+"""
+from repro.engine.events import Delay, Send, Wait
+from repro.engine.future import Future
+from repro.engine.simulator import Simulator, SimulationError
+
+__all__ = ["Delay", "Send", "Wait", "Future", "Simulator", "SimulationError"]

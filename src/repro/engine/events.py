@@ -1,0 +1,78 @@
+"""Engine primitives yielded by program tasks and interrupt handlers.
+
+The engine understands exactly three primitives:
+
+``Delay``
+    occupy this node's processor for a number of cycles, accounted to a
+    breakdown category;
+``Send``
+    pay the messaging overhead (plus I/O-bus transfer for the payload) and
+    inject a message into the network;
+``Wait``
+    block until a :class:`~repro.engine.future.Future` resolves; the elapsed
+    time (minus any interrupt servicing that overlapped it) is accounted to
+    the given category.
+
+Higher layers (the application API, the DSM protocols) are written as
+generators that yield these primitives, composed with ``yield from``.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:
+    from repro.engine.future import Future
+    from repro.network.message import Message
+
+#: breakdown categories, matching Figure 4 of the paper
+CATEGORIES = ("busy", "data", "synch", "ipc", "others")
+
+
+@dataclass(frozen=True)
+class Delay:
+    cycles: float
+    category: str = "busy"
+
+    def __post_init__(self) -> None:
+        if self.cycles < 0:
+            raise ValueError(f"negative delay: {self.cycles}")
+        if self.category not in CATEGORIES:
+            raise ValueError(f"unknown category: {self.category}")
+
+
+@dataclass(frozen=True)
+class Send:
+    dst: int
+    message: "Message"
+    #: category the sender-side overhead is charged to
+    category: str = "busy"
+
+    def __post_init__(self) -> None:
+        if self.category not in CATEGORIES:
+            raise ValueError(f"unknown category: {self.category}")
+
+
+@dataclass(frozen=True)
+class Wait:
+    future: "Future"
+    category: str = "synch"
+
+    def __post_init__(self) -> None:
+        if self.category not in CATEGORIES:
+            raise ValueError(f"unknown category: {self.category}")
+
+
+@dataclass(frozen=True)
+class Resolve:
+    """Resolve a future at the current simulated instant (zero cost).
+
+    Used by interrupt handlers to signal program tasks ("your reply
+    arrived") with the correct in-service timestamp.
+    """
+
+    future: "Future"
+    value: Any = None
+
+
+EnginePrimitive = Any  # Delay | Send | Wait | Resolve

@@ -1,0 +1,61 @@
+"""Completion futures used to block program tasks on protocol events."""
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional
+
+
+class Future:
+    """A one-shot completion token resolved at a simulated instant.
+
+    Program tasks block on futures via the ``Wait`` primitive; protocol
+    message handlers resolve them (e.g. "the lock manager's reply arrived",
+    "all diffs for this barrier step were applied").  The resolve *time* is
+    recorded so overlap accounting (how much diff-creation work was hidden
+    behind a wait) can be computed exactly.
+    """
+
+    __slots__ = ("_done", "_value", "_resolve_time", "_callbacks", "label")
+
+    def __init__(self, label: str = "") -> None:
+        self._done = False
+        self._value: Any = None
+        self._resolve_time: Optional[float] = None
+        self._callbacks: List[Callable[["Future"], None]] = []
+        self.label = label
+
+    @property
+    def done(self) -> bool:
+        return self._done
+
+    @property
+    def value(self) -> Any:
+        if not self._done:
+            raise RuntimeError(f"future {self.label!r} not resolved")
+        return self._value
+
+    @property
+    def resolve_time(self) -> float:
+        if self._resolve_time is None:
+            raise RuntimeError(f"future {self.label!r} not resolved")
+        return self._resolve_time
+
+    def resolve(self, value: Any, time: float) -> None:
+        if self._done:
+            raise RuntimeError(f"future {self.label!r} resolved twice")
+        self._done = True
+        self._value = value
+        self._resolve_time = time
+        callbacks, self._callbacks = self._callbacks, []
+        for cb in callbacks:
+            cb(self)
+
+    def on_resolve(self, callback: Callable[["Future"], None]) -> None:
+        """Run ``callback(self)`` when resolved (immediately if already done)."""
+        if self._done:
+            callback(self)
+        else:
+            self._callbacks.append(callback)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = f"done@{self._resolve_time}" if self._done else "pending"
+        return f"<Future {self.label!r} {state}>"

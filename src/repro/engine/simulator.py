@@ -1,0 +1,282 @@
+"""The discrete-event core driving per-node timelines.
+
+Each simulated node runs one *program task* (a generator yielding engine
+primitives) and services incoming messages with *interrupt service routines*
+(ISRs): generators produced by the node's message handler.  ISRs run to
+completion on the node's timeline, stealing cycles from whatever the program
+task was doing — an in-progress ``Delay`` is stretched by the service time,
+exactly like an interrupt on a real workstation.
+
+Timing/accounting model (categories follow Figure 4 of the paper):
+
+* ``Delay(c, cat)`` charges ``c`` cycles to ``cat`` on the node;
+* ``Send`` charges the messaging overhead plus the I/O-bus transfer of the
+  payload to the sender, then hands the message to the network model, which
+  returns the delivery time under source/destination link contention;
+* message delivery charges the interrupt entry cost (``others``) and the
+  receive-side I/O-bus transfer (``ipc``) before the handler's own delays;
+* ``Wait(fut, cat)`` charges the blocked duration *minus* any ISR cycles that
+  ran during the window (those were already charged to ``ipc``/``others``).
+"""
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Dict, Generator, Iterable, List, Optional, Tuple
+
+from repro.config import MachineParams, SimConfig
+from repro.engine.events import CATEGORIES, Delay, Resolve, Send, Wait
+from repro.engine.future import Future
+from repro.network.message import Message
+from repro.network.network import Network
+
+
+class SimulationError(RuntimeError):
+    pass
+
+
+Handler = Callable[[Message], Optional[Generator]]
+Program = Generator
+
+
+class _NodeRuntime:
+    """Book-keeping for one simulated node's timeline."""
+
+    __slots__ = (
+        "node_id", "gen", "state", "clock", "delay_end", "delay_seq",
+        "isr_busy_until", "isr_cycles_total", "breakdown",
+        "wait_start", "wait_isr_snapshot", "wait_category", "done_time",
+        "handler", "messages_received", "messages_sent",
+    )
+
+    def __init__(self, node_id: int) -> None:
+        self.node_id = node_id
+        self.gen: Optional[Program] = None
+        self.handler: Optional[Handler] = None
+        self.state = "ready"  # ready | delaying | blocked | done
+        self.clock = 0.0
+        self.delay_end = 0.0
+        self.delay_seq = 0  # invalidates stale delay-completion events
+        self.isr_busy_until = 0.0
+        self.isr_cycles_total = 0.0
+        self.breakdown: Dict[str, float] = {c: 0.0 for c in CATEGORIES}
+        self.wait_start = 0.0
+        self.wait_isr_snapshot = 0.0
+        self.wait_category = "synch"
+        self.done_time: Optional[float] = None
+        self.messages_received = 0
+        self.messages_sent = 0
+
+    def charge(self, category: str, cycles: float) -> None:
+        self.breakdown[category] += cycles
+
+
+class Simulator:
+    """Runs a set of per-node program tasks over the machine/network model."""
+
+    def __init__(self, config: SimConfig) -> None:
+        self.config = config
+        self.machine: MachineParams = config.machine
+        self.network = Network(self.machine)
+        self.nodes: List[_NodeRuntime] = [
+            _NodeRuntime(i) for i in range(self.machine.num_procs)
+        ]
+        self._heap: List[Tuple[float, int, str, Any]] = []
+        self._seq = itertools.count()
+        self.now = 0.0
+        self.events_processed = 0
+        self._started = False
+
+    # ------------------------------------------------------------------ API
+
+    def add_program(self, node_id: int, program: Program) -> None:
+        node = self.nodes[node_id]
+        if node.gen is not None:
+            raise SimulationError(f"node {node_id} already has a program")
+        node.gen = program
+
+    def set_handler(self, node_id: int, handler: Handler) -> None:
+        self.nodes[node_id].handler = handler
+
+    def run(self) -> float:
+        """Run to completion; returns the simulated execution time (cycles)."""
+        if self._started:
+            raise SimulationError("simulator already ran")
+        self._started = True
+        for node in self.nodes:
+            if node.gen is None:
+                node.state = "done"
+                node.done_time = 0.0
+        for node in self.nodes:
+            if node.gen is not None:
+                self._step_program(node, None)
+        limit = self.config.max_events
+        while self._heap:
+            time, _, kind, payload = heapq.heappop(self._heap)
+            if time < self.now - 1e-9:
+                raise SimulationError(f"time went backwards: {time} < {self.now}")
+            self.now = max(self.now, time)
+            self.events_processed += 1
+            if self.events_processed > limit:
+                raise SimulationError(f"exceeded max_events={limit}")
+            if kind == "delay_end":
+                node_id, seq = payload
+                node = self.nodes[node_id]
+                if node.state != "delaying" or seq != node.delay_seq:
+                    continue  # stale (delay was stretched by an ISR)
+                node.clock = node.delay_end
+                node.state = "ready"
+                self._step_program(node, None)
+            elif kind == "arrival":
+                self._deliver(payload)
+            elif kind == "wake":
+                node_id, fut = payload
+                self._wake(self.nodes[node_id], fut)
+            else:  # pragma: no cover - defensive
+                raise SimulationError(f"unknown event kind {kind!r}")
+        for node in self.nodes:
+            if node.state != "done":
+                raise SimulationError(
+                    f"deadlock: node {node.node_id} ended in state {node.state!r} "
+                    f"(waiting on {getattr(node, 'wait_category', '?')})"
+                )
+        return self.execution_time
+
+    @property
+    def execution_time(self) -> float:
+        return max((n.done_time or 0.0) for n in self.nodes)
+
+    def breakdowns(self) -> List[Dict[str, float]]:
+        return [dict(n.breakdown) for n in self.nodes]
+
+    # ------------------------------------------------------- program driving
+
+    def _push(self, time: float, kind: str, payload: Any) -> None:
+        heapq.heappush(self._heap, (time, next(self._seq), kind, payload))
+
+    def _step_program(self, node: _NodeRuntime, value: Any) -> None:
+        """Advance a node's program task until it blocks, delays or finishes."""
+        while True:
+            try:
+                op = node.gen.send(value)
+            except StopIteration:
+                node.state = "done"
+                node.done_time = node.clock
+                return
+            value = None
+            if isinstance(op, Delay):
+                if op.cycles <= 0:
+                    node.charge(op.category, op.cycles)
+                    continue
+                node.charge(op.category, op.cycles)
+                node.state = "delaying"
+                node.delay_end = node.clock + op.cycles
+                node.delay_seq += 1
+                self._push(node.delay_end, "delay_end", (node.node_id, node.delay_seq))
+                return
+            if isinstance(op, Send):
+                cost = self._send_cost(op.message)
+                node.charge(op.category, cost)
+                if cost > 0:
+                    # model the send as an interruptible delay whose completion
+                    # injects the message
+                    node.state = "delaying"
+                    node.delay_end = node.clock + cost
+                    node.delay_seq += 1
+                    self._push(node.delay_end, "delay_end", (node.node_id, node.delay_seq))
+                    # inject at the (possibly later, if interrupted) send end;
+                    # we bind injection to nominal end: acceptable approximation
+                    self._inject(node.node_id, op.dst, op.message, node.delay_end)
+                    return
+                self._inject(node.node_id, op.dst, op.message, node.clock)
+                continue
+            if isinstance(op, Wait):
+                fut = op.future
+                if fut.done:
+                    value = fut.value
+                    continue
+                node.state = "blocked"
+                node.wait_start = node.clock
+                node.wait_isr_snapshot = node.isr_cycles_total
+                node.wait_category = op.category
+                fut.on_resolve(
+                    lambda f, nid=node.node_id: self._push(
+                        max(f.resolve_time, self.now), "wake", (nid, f)
+                    )
+                )
+                return
+            if isinstance(op, Resolve):
+                op.future.resolve(op.value, node.clock)
+                continue
+            raise SimulationError(f"program yielded unknown op {op!r}")
+
+    def _wake(self, node: _NodeRuntime, fut: Future) -> None:
+        if node.state != "blocked":  # pragma: no cover - defensive
+            raise SimulationError(f"wake of non-blocked node {node.node_id}")
+        wake_time = max(fut.resolve_time, node.isr_busy_until, node.wait_start)
+        duration = wake_time - node.wait_start
+        overlap = node.isr_cycles_total - node.wait_isr_snapshot
+        node.charge(node.wait_category, max(0.0, duration - overlap))
+        node.clock = wake_time
+        node.state = "ready"
+        self._step_program(node, fut.value)
+
+    # ----------------------------------------------------------- networking
+
+    def _send_cost(self, msg: Message) -> float:
+        m = self.machine
+        return m.messaging_overhead_cycles + m.io_transfer_cycles(msg.payload_bytes)
+
+    def _inject(self, src: int, dst: int, msg: Message, time: float) -> None:
+        self.nodes[src].messages_sent += 1
+        msg.src = src
+        msg.dst = dst
+        if src == dst:
+            # loopback (e.g. node is its own manager): no network transit
+            self._push(time, "arrival", msg)
+            return
+        arrival = self.network.deliver(src, dst, msg.total_bytes, time)
+        self._push(arrival, "arrival", msg)
+
+    def _deliver(self, msg: Message) -> None:
+        node = self.nodes[msg.dst]
+        node.messages_received += 1
+        handler = node.handler
+        if handler is None:
+            raise SimulationError(f"node {msg.dst} has no message handler")
+        m = self.machine
+        vstart = max(self.now, node.isr_busy_until)
+        vtime = vstart
+        if msg.src != msg.dst:
+            node.charge("others", m.interrupt_cycles)
+            vtime += m.interrupt_cycles
+            recv_io = m.io_transfer_cycles(msg.payload_bytes)
+            node.charge("ipc", recv_io)
+            vtime += recv_io
+        gen = handler(msg)
+        if gen is not None:
+            for op in gen:
+                if isinstance(op, Delay):
+                    node.charge(op.category, op.cycles)
+                    vtime += op.cycles
+                elif isinstance(op, Send):
+                    cost = self._send_cost(op.message)
+                    node.charge(op.category, cost)
+                    vtime += cost
+                    self._inject(node.node_id, op.dst, op.message, vtime)
+                elif isinstance(op, Resolve):
+                    op.future.resolve(op.value, vtime)
+                elif isinstance(op, Wait):
+                    raise SimulationError(
+                        "interrupt handlers must not block (yielded Wait)"
+                    )
+                else:
+                    raise SimulationError(f"handler yielded unknown op {op!r}")
+        service = vtime - vstart
+        node.isr_cycles_total += service
+        node.isr_busy_until = vstart + service
+        if node.state == "delaying" and service > 0:
+            # the interrupt stole cycles from the in-progress delay
+            node.delay_end += service
+            node.delay_seq += 1
+            self._push(node.delay_end, "delay_end", (node.node_id, node.delay_seq))

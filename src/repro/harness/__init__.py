@@ -1,0 +1,5 @@
+"""Experiment harness: run (application, protocol) pairs, render the paper's
+ tables and figures."""
+from repro.harness.runner import run_app, PROTOCOLS
+
+__all__ = ["run_app", "PROTOCOLS"]

@@ -1,0 +1,39 @@
+"""In-process memoization of simulation runs.
+
+Several experiments share runs (e.g. Table 3, Table 4 and Figures 4/6 all
+need `app X under AEC`), and the pytest-benchmark harness executes every
+table/figure in one process — caching keeps the full paper reproduction to
+one simulation per (app, scale, protocol, config) combination.
+"""
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.apps.registry import make_app
+from repro.config import SimConfig
+from repro.harness.runner import run_app
+from repro.stats.run_result import RunResult
+
+_CACHE: Dict[Tuple, RunResult] = {}
+
+
+def cached_run(app_name: str, scale: str, protocol: str,
+               update_set_size: int = 2,
+               seed: int = 42,
+               check: bool = True) -> RunResult:
+    key = (app_name, scale, protocol, update_set_size, seed)
+    result = _CACHE.get(key)
+    if result is None:
+        config = SimConfig(update_set_size=update_set_size, seed=seed)
+        result = run_app(make_app(app_name, scale), protocol,
+                         config=config, check=check)
+        _CACHE[key] = result
+    return result
+
+
+def clear_cache() -> None:
+    _CACHE.clear()
+
+
+def cache_size() -> int:
+    return len(_CACHE)

@@ -1,0 +1,173 @@
+"""Command-line interface: run single simulations or whole experiments.
+
+Examples::
+
+    repro run --app is --protocol aec --scale test
+    repro compare --app raytrace --scale bench
+    repro experiment table3 --scale test
+    repro experiment all --scale bench
+"""
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.apps.registry import APP_NAMES, SCALES, make_app
+from repro.config import SimConfig
+from repro.harness import experiments as ex
+from repro.harness import tables
+from repro.harness.runner import PROTOCOLS, run_app
+
+EXPERIMENTS = ("table1", "table2", "table3", "table4",
+               "fig3", "fig4", "fig5", "fig6",
+               "ablation-upset", "ablation-robustness", "all")
+
+
+def _cmd_run(args) -> int:
+    config = SimConfig(update_set_size=args.update_set_size, seed=args.seed)
+    result = run_app(make_app(args.app, args.scale), args.protocol,
+                     config=config)
+    print(result.summary())
+    if args.verbose:
+        print(f"  execution time : {result.execution_time:,.0f} cycles "
+              f"({result.execution_time / 1e8:.2f} s at 100 MHz)")
+        print(f"  messages       : {result.messages_total:,} "
+              f"({result.network_bytes:,} bytes)")
+        print(f"  faults         : {result.fault_stats.total_faults:,} "
+              f"(cold {result.fault_stats.cold_faults:,})")
+        d = result.diff_stats
+        print(f"  diffs          : {d.diffs_created:,} created "
+              f"(avg {d.avg_diff_bytes:.0f} B), {d.diffs_applied:,} applied, "
+              f"{100 * d.hidden_create_fraction:.1f}% creation hidden")
+        print(f"  simulated evts : {result.events_processed:,} "
+              f"in {result.wall_seconds:.1f}s wall")
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    for protocol in args.protocols:
+        config = SimConfig(update_set_size=args.update_set_size,
+                           seed=args.seed)
+        result = run_app(make_app(args.app, args.scale), protocol,
+                         config=config)
+        print(result.summary())
+    return 0
+
+
+def _cmd_analyze(args) -> int:
+    from repro.tools import (lock_report, message_matrix, render_matrix,
+                             render_timeline)
+    config = SimConfig(update_set_size=args.update_set_size, seed=args.seed,
+                       trace=True)
+    result = run_app(make_app(args.app, args.scale), args.protocol,
+                     config=config)
+    trace = result.extra["trace"]
+    print(result.summary())
+    print()
+    print(trace.summary())
+    print()
+    print(lock_report(trace))
+    print()
+    print(render_timeline(trace,
+                          kinds=["fault.read", "fault.write", "diff.create",
+                                 "lock.grant"]))
+    print()
+    print(render_matrix(message_matrix(result)))
+    if args.trace_out:
+        with open(args.trace_out, "w") as fh:
+            fh.write(trace.to_jsonl())
+        print(f"\ntrace written to {args.trace_out} "
+              f"({len(trace)} events)")
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    names = EXPERIMENTS[:-1] if args.name == "all" else (args.name,)
+    scale = args.scale
+    for name in names:
+        if name == "table1":
+            print(tables.render_table1())
+        elif name == "table2":
+            print(tables.render_table2(ex.table2(scale)))
+        elif name == "table3":
+            print(tables.render_table3(ex.table3(scale)))
+        elif name == "table4":
+            print(tables.render_table4(ex.table4(scale)))
+        elif name == "fig3":
+            print(tables.render_compare(
+                "Figure 3: access-fault overhead, AEC-noLAP=100 vs AEC.",
+                ex.figure3(scale)))
+        elif name == "fig4":
+            print(tables.render_compare(
+                "Figure 4: execution time, AEC-noLAP=100 vs AEC.",
+                ex.figure4(scale)))
+        elif name == "fig5":
+            print(tables.render_compare(
+                "Figure 5: execution time, TreadMarks=100 vs AEC.",
+                ex.figure5(scale)))
+        elif name == "fig6":
+            print(tables.render_compare(
+                "Figure 6: execution time, TreadMarks=100 vs AEC.",
+                ex.figure6(scale)))
+        elif name == "ablation-upset":
+            print(tables.render_update_set(ex.ablation_update_set_size(scale)))
+        elif name == "ablation-robustness":
+            print(tables.render_robustness(ex.ablation_lap_robustness(scale)))
+        else:  # pragma: no cover - argparse restricts choices
+            raise ValueError(name)
+        print()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro",
+        description="AEC protocol reproduction (ICPP 1997)")
+    sub = p.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="simulate one application/protocol")
+    run.add_argument("--app", choices=APP_NAMES, required=True)
+    run.add_argument("--protocol", choices=sorted(PROTOCOLS), default="aec")
+    run.add_argument("--scale", choices=SCALES, default="test")
+    run.add_argument("--update-set-size", type=int, default=2)
+    run.add_argument("--seed", type=int, default=42)
+    run.add_argument("--verbose", "-v", action="store_true")
+    run.set_defaults(fn=_cmd_run)
+
+    cmp_ = sub.add_parser("compare", help="one app under several protocols")
+    cmp_.add_argument("--app", choices=APP_NAMES, required=True)
+    cmp_.add_argument("--protocols", nargs="+",
+                      choices=sorted(PROTOCOLS),
+                      default=["tmk", "aec-nolap", "aec"])
+    cmp_.add_argument("--scale", choices=SCALES, default="test")
+    cmp_.add_argument("--update-set-size", type=int, default=2)
+    cmp_.add_argument("--seed", type=int, default=42)
+    cmp_.set_defaults(fn=_cmd_compare)
+
+    ana = sub.add_parser("analyze",
+                         help="run with tracing and print lock/traffic "
+                              "reports")
+    ana.add_argument("--app", choices=APP_NAMES, required=True)
+    ana.add_argument("--protocol", choices=sorted(PROTOCOLS), default="aec")
+    ana.add_argument("--scale", choices=SCALES, default="test")
+    ana.add_argument("--update-set-size", type=int, default=2)
+    ana.add_argument("--seed", type=int, default=42)
+    ana.add_argument("--trace-out", metavar="FILE",
+                     help="also dump the event trace as JSON lines")
+    ana.set_defaults(fn=_cmd_analyze)
+
+    exp = sub.add_parser("experiment", help="reproduce a table or figure")
+    exp.add_argument("name", choices=EXPERIMENTS)
+    exp.add_argument("--scale", choices=SCALES, default="test")
+    exp.set_defaults(fn=_cmd_experiment)
+    return p
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,332 @@
+"""Experiment definitions: one function per paper table/figure.
+
+Every function returns plain data rows; :mod:`repro.harness.tables` renders
+them in the paper's format.  See DESIGN.md's experiment index and
+EXPERIMENTS.md for paper-vs-measured discussion.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.apps.registry import APP_NAMES
+from repro.core.lap.stats import VARIANTS
+from repro.harness.cache import cached_run
+from repro.stats.breakdown import Breakdown
+
+#: the paper's lock-intensive applications (Figures 3/4 and 6)
+LOCK_APPS = ("is", "raytrace", "water-ns")
+#: the barrier-dominated applications (Figure 5)
+BARRIER_APPS = ("fft", "ocean", "water-sp")
+
+
+# ---------------------------------------------------------------- Table 2
+
+@dataclass
+class Table2Row:
+    app: str
+    locks: int
+    acquires: int
+    barriers: int
+
+
+def table2(scale: str = "bench") -> List[Table2Row]:
+    """Synchronization events per application (paper Table 2)."""
+    rows = []
+    for app in APP_NAMES:
+        r = cached_run(app, scale, "aec")
+        rows.append(Table2Row(app, len(r.extra["lock_vars"]),
+                              r.total_lock_acquires, r.barrier_events))
+    return rows
+
+
+# ---------------------------------------------------------------- Table 3
+
+@dataclass
+class Table3Row:
+    app: str
+    group: str
+    events: int
+    pct_of_total: float
+    rates: Dict[str, Optional[float]]
+
+
+def _lock_groups(result) -> Dict[str, List[int]]:
+    groups: Dict[str, List[int]] = {}
+    for lock_id, name, group in result.extra["lock_vars"]:
+        groups.setdefault(group or name, []).append(lock_id)
+    return groups
+
+
+def table3(scale: str = "bench", protocol: str = "aec",
+           update_set_size: int = 2,
+           min_events_pct: float = 1.0) -> List[Table3Row]:
+    """LAP success rates per lock-variable group (paper Table 3, |U|=2)."""
+    rows: List[Table3Row] = []
+    for app in APP_NAMES:
+        r = cached_run(app, scale, protocol,
+                       update_set_size=update_set_size)
+        if r.lap_stats is None:
+            continue
+        total = max(r.lap_stats.total_acquires(), 1)
+        for group, lock_ids in _lock_groups(r).items():
+            g = r.lap_stats.group_rates(lock_ids)
+            events = g.pop("events")
+            pct = 100.0 * events / total
+            if events == 0 or pct < min_events_pct:
+                continue
+            rows.append(Table3Row(app, group, events, pct,
+                                  {v: g[v] for v in VARIANTS}))
+    return rows
+
+
+# ---------------------------------------------------------------- Table 4
+
+@dataclass
+class Table4Row:
+    app: str
+    avg_diff_bytes: float
+    avg_merged_bytes: float
+    merged_pct: float
+    create_cycles_per_proc: float
+    hidden_create_pct: float
+    hidden_apply_pct: float
+
+
+def table4(scale: str = "bench") -> List[Table4Row]:
+    """Diff statistics under AEC (paper Table 4)."""
+    rows = []
+    for app in APP_NAMES:
+        r = cached_run(app, scale, "aec")
+        d = r.diff_stats
+        rows.append(Table4Row(
+            app,
+            d.avg_diff_bytes,
+            d.avg_merged_bytes,
+            100.0 * d.merged_fraction,
+            d.create_cycles_per_proc,
+            100.0 * d.hidden_create_fraction,
+            100.0 * d.hidden_apply_fraction,
+        ))
+    return rows
+
+
+# ------------------------------------------------------------- Figures 3/4
+
+@dataclass
+class CompareRow:
+    app: str
+    base_label: str
+    other_label: str
+    base_value: float
+    other_value: float
+    #: per-category average breakdowns (cycles) for base and other
+    base_breakdown: Optional[Breakdown] = None
+    other_breakdown: Optional[Breakdown] = None
+
+    @property
+    def normalized(self) -> float:
+        """other as a percentage of base (the paper's 100-based bars)."""
+        return 100.0 * self.other_value / self.base_value if self.base_value \
+            else 0.0
+
+
+def figure3(scale: str = "bench") -> List[CompareRow]:
+    """Access-fault overhead: AEC-without-LAP (=100) vs AEC (Figure 3)."""
+    rows = []
+    for app in LOCK_APPS:
+        nolap = cached_run(app, scale, "aec-nolap")
+        lap = cached_run(app, scale, "aec")
+        rows.append(CompareRow(
+            app, "noLAP", "LAP",
+            nolap.breakdown["data"], lap.breakdown["data"],
+            nolap.breakdown, lap.breakdown))
+    return rows
+
+
+def figure4(scale: str = "bench") -> List[CompareRow]:
+    """Execution time: AEC-without-LAP (=100) vs AEC (Figure 4)."""
+    rows = []
+    for app in LOCK_APPS:
+        nolap = cached_run(app, scale, "aec-nolap")
+        lap = cached_run(app, scale, "aec")
+        rows.append(CompareRow(
+            app, "noLAP", "LAP",
+            nolap.execution_time, lap.execution_time,
+            nolap.breakdown, lap.breakdown))
+    return rows
+
+
+# ------------------------------------------------------------- Figures 5/6
+
+def _tm_vs_aec(apps, scale: str) -> List[CompareRow]:
+    rows = []
+    for app in apps:
+        tm = cached_run(app, scale, "tmk")
+        aec = cached_run(app, scale, "aec")
+        rows.append(CompareRow(
+            app, "TM", "AEC",
+            tm.execution_time, aec.execution_time,
+            tm.breakdown, aec.breakdown))
+    return rows
+
+
+def figure5(scale: str = "bench") -> List[CompareRow]:
+    """Execution time: TreadMarks (=100) vs AEC, barrier apps (Figure 5)."""
+    return _tm_vs_aec(BARRIER_APPS, scale)
+
+
+def figure6(scale: str = "bench") -> List[CompareRow]:
+    """Execution time: TreadMarks (=100) vs AEC, lock apps (Figure 6)."""
+    return _tm_vs_aec(LOCK_APPS, scale)
+
+
+# --------------------------------------------------------------- ablations
+
+@dataclass
+class UpdateSetRow:
+    app: str
+    size: int
+    lap_rate: Optional[float]
+    execution_time: float
+
+
+def ablation_update_set_size(scale: str = "bench",
+                             sizes: Tuple[int, ...] = (1, 2, 3),
+                             apps: Tuple[str, ...] = LOCK_APPS
+                             ) -> List[UpdateSetRow]:
+    """|U| sweep (Section 5.1: '|U|=2 seems to be the best size')."""
+    rows = []
+    for app in apps:
+        for size in sizes:
+            r = cached_run(app, scale, "aec", update_set_size=size)
+            rate = None
+            if r.lap_stats is not None:
+                all_locks = [lv[0] for lv in r.extra["lock_vars"]]
+                rate = r.lap_stats.group_rates(all_locks)["lap"]
+            rows.append(UpdateSetRow(app, size, rate, r.execution_time))
+    return rows
+
+
+@dataclass
+class TrafficRow:
+    app: str
+    protocol: str
+    messages: int
+    kbytes: float
+    execution_time: float
+
+
+def ablation_update_traffic(scale: str = "bench",
+                            apps: Tuple[str, ...] = ("is", "raytrace",
+                                                     "water-sp"),
+                            protocols: Tuple[str, ...] = (
+                                "munin", "munin-lap", "tmk", "tmk-lh",
+                                "adsm", "aec")
+                            ) -> List[TrafficRow]:
+    """Communication volume across the update/invalidate spectrum.
+
+    Section 1 of the paper: Munin updates *all* sharers; LAP can restrict
+    that traffic; TreadMarks avoids eager updates entirely; AEC pushes only
+    to the predicted update set.  This ablation measures messages and bytes
+    for each point of that spectrum (plus the Lazy Hybrid TreadMarks
+    variant of the related work).
+    """
+    rows = []
+    for app in apps:
+        for protocol in protocols:
+            r = cached_run(app, scale, protocol)
+            rows.append(TrafficRow(app, protocol, r.messages_total,
+                                   r.network_bytes / 1024.0,
+                                   r.execution_time))
+    return rows
+
+
+@dataclass
+class ScalingRow:
+    app: str
+    protocol: str
+    procs: int
+    execution_time: float
+
+
+def ablation_scalability(scale: str = "test",
+                         apps: Tuple[str, ...] = ("is", "water-sp"),
+                         procs: Tuple[int, ...] = (4, 8, 16),
+                         protocols: Tuple[str, ...] = ("tmk", "aec")
+                         ) -> List[ScalingRow]:
+    """Protocol behaviour as the machine grows (the paper fixes 16)."""
+    from repro.apps.registry import make_app
+    from repro.config import MachineParams, SimConfig
+    from repro.harness.runner import run_app
+
+    rows = []
+    for app in apps:
+        for protocol in protocols:
+            for p in procs:
+                cfg = SimConfig(machine=MachineParams(num_procs=p))
+                r = run_app(make_app(app, scale), protocol, config=cfg)
+                rows.append(ScalingRow(app, protocol, p, r.execution_time))
+    return rows
+
+
+@dataclass
+class SensitivityRow:
+    app: str
+    protocol: str
+    messaging_overhead: int
+    execution_time: float
+
+
+def ablation_network_sensitivity(scale: str = "test",
+                                 apps: Tuple[str, ...] = ("is", "water-sp"),
+                                 overheads: Tuple[int, ...] = (100, 400,
+                                                               1600),
+                                 protocols: Tuple[str, ...] = ("tmk", "aec")
+                                 ) -> List[SensitivityRow]:
+    """Sweep the per-message software overhead (the paper's 400-cycle NOW
+    constant): AEC's win comes from removing messages/round trips from the
+    critical path, so the gap should widen with costlier messaging and
+    narrow as the interconnect gets cheap."""
+    import dataclasses
+
+    from repro.apps.registry import make_app
+    from repro.config import MachineParams, SimConfig
+    from repro.harness.runner import run_app
+
+    rows = []
+    for app in apps:
+        for protocol in protocols:
+            for overhead in overheads:
+                machine = dataclasses.replace(
+                    MachineParams(), messaging_overhead_cycles=overhead)
+                cfg = SimConfig(machine=machine)
+                r = run_app(make_app(app, scale), protocol, config=cfg)
+                rows.append(SensitivityRow(app, protocol, overhead,
+                                           r.execution_time))
+    return rows
+
+
+@dataclass
+class RobustnessRow:
+    app: str
+    protocol: str
+    rates: Dict[str, Optional[float]]
+
+
+def ablation_lap_robustness(scale: str = "bench",
+                            apps: Tuple[str, ...] = LOCK_APPS
+                            ) -> List[RobustnessRow]:
+    """LAP success under AEC vs under TreadMarks (Section 5.1: rates vary
+    by less than ~10% between DSMs for lock-intensive applications)."""
+    rows = []
+    for app in apps:
+        for protocol in ("aec", "tmk"):
+            r = cached_run(app, scale, protocol)
+            if r.lap_stats is None:
+                continue
+            all_locks = [lv[0] for lv in r.extra["lock_vars"]]
+            g = r.lap_stats.group_rates(all_locks)
+            g.pop("events", None)
+            rows.append(RobustnessRow(app, protocol, g))
+    return rows

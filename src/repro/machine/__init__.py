@@ -1,0 +1,7 @@
+"""Per-node hardware model: data cache, TLB, write buffer (paper Table 1)."""
+from repro.machine.cache import DirectMappedCache
+from repro.machine.tlb import TLB
+from repro.machine.write_buffer import WriteBuffer
+from repro.machine.node import NodeHardware
+
+__all__ = ["DirectMappedCache", "TLB", "WriteBuffer", "NodeHardware"]

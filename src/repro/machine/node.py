@@ -1,0 +1,46 @@
+"""Assembly of one node's hardware model and its access-cost computation."""
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import MachineParams
+from repro.machine.cache import DirectMappedCache
+from repro.machine.tlb import TLB
+from repro.machine.write_buffer import WriteBuffer
+
+
+@dataclass
+class AccessCost:
+    busy: float      # issue cycles (1/word), useful work
+    others: float    # TLB fills + cache-miss fills + write-buffer stalls
+
+
+class NodeHardware:
+    """Caches/TLB/write-buffer state of one simulated workstation."""
+
+    def __init__(self, machine: MachineParams) -> None:
+        self.machine = machine
+        self.cache = DirectMappedCache(machine)
+        self.tlb = TLB(machine)
+        self.write_buffer = WriteBuffer(machine)
+
+    def access(self, addr: int, nwords: int, is_write: bool) -> AccessCost:
+        """Cost of a validated shared reference of ``nwords`` at ``addr``."""
+        if nwords <= 0:
+            return AccessCost(0.0, 0.0)
+        tlb_fills = self.tlb.access(addr, nwords)
+        misses = self.cache.access(addr, nwords)
+        others = tlb_fills * self.tlb.fill_cycles()
+        if is_write:
+            others += self.write_buffer.store_burst_stall(nwords, misses)
+        else:
+            others += misses * self.cache.line_fill_cycles()
+        return AccessCost(busy=float(nwords), others=others)
+
+    def page_updated(self, page_addr: int, nwords: int) -> None:
+        """A page's memory contents changed underneath the cache (diff apply,
+        page fetch): stale lines must be dropped."""
+        self.cache.invalidate_range(page_addr, nwords)
+
+    def page_protection_changed(self, page_number: int) -> None:
+        self.tlb.flush_page(page_number)

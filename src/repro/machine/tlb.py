@@ -1,0 +1,39 @@
+"""Direct-mapped TLB over shared pages (128 entries, 100-cycle fills)."""
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config import MachineParams
+
+
+class TLB:
+    def __init__(self, machine: MachineParams) -> None:
+        self.machine = machine
+        self.entries = machine.tlb_entries
+        self._tags = np.full(self.entries, -1, dtype=np.int64)
+        self.fills = 0
+
+    def access(self, addr: int, nwords: int) -> int:
+        """Touch the pages covering the word range; returns TLB fills needed."""
+        if nwords <= 0:
+            return 0
+        wpp = self.machine.words_per_page
+        first = addr // wpp
+        last = (addr + nwords - 1) // wpp
+        pages = np.arange(first, last + 1, dtype=np.int64)
+        slots = pages % self.entries
+        miss_mask = self._tags[slots] != pages
+        nmiss = int(miss_mask.sum())
+        if nmiss:
+            self._tags[slots[miss_mask]] = pages[miss_mask]
+        self.fills += nmiss
+        return nmiss
+
+    def flush_page(self, page_number: int) -> None:
+        """Invalidate a page's entry (protection change / invalidation)."""
+        slot = page_number % self.entries
+        if self._tags[slot] == page_number:
+            self._tags[slot] = -1
+
+    def fill_cycles(self) -> float:
+        return float(self.machine.tlb_fill_cycles)

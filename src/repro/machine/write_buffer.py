@@ -1,0 +1,29 @@
+"""A small write buffer hiding store-miss latency up to its capacity.
+
+The model is a deterministic fluid approximation over each bulk write: the
+CPU issues one word per cycle; missing lines must drain to memory at the
+memory line-fill rate.  Stall time is whatever drain work the buffer's
+capacity cannot absorb beyond the issue time of the burst itself.
+"""
+from __future__ import annotations
+
+from repro.config import MachineParams
+
+
+class WriteBuffer:
+    def __init__(self, machine: MachineParams) -> None:
+        self.machine = machine
+        self.entries = machine.write_buffer_entries
+        self.stall_cycles_total = 0.0
+
+    def store_burst_stall(self, nwords: int, line_misses: int) -> float:
+        """Stall cycles for a bulk store of ``nwords`` with ``line_misses``."""
+        if line_misses <= 0:
+            return 0.0
+        m = self.machine
+        drain = line_misses * m.mem_access_cycles(m.words_per_line)
+        issue = float(nwords)  # 1 cycle/word issue rate
+        slack = issue + self.entries * m.mem_access_cycles(m.words_per_line)
+        stall = max(0.0, drain - slack)
+        self.stall_cycles_total += stall
+        return stall

@@ -1,0 +1,15 @@
+"""Paged distributed-shared-memory substrate: segments, page copies, diffs."""
+from repro.memory.layout import Layout, Segment
+from repro.memory.pagestore import PageStore
+from repro.memory.diff import Diff, create_diff, merge_diffs
+from repro.memory.write_notice import WriteNotice
+
+__all__ = [
+    "Layout",
+    "Segment",
+    "PageStore",
+    "Diff",
+    "create_diff",
+    "merge_diffs",
+    "WriteNotice",
+]

@@ -1,0 +1,105 @@
+"""Diffs: word-level encodings of the modifications made to a page.
+
+A diff records the word offsets that differ between a page and its *twin*
+(the pristine copy made before the first write) together with the new
+values.  Diff size in bytes is ``8 * nwords`` (4-byte offset + 4-byte value
+per encoded word), matching run-length-free encodings used by TreadMarks-era
+systems closely enough for the paper's size statistics.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional
+
+import numpy as np
+
+#: encoded bytes per modified word (offset + value)
+BYTES_PER_ENTRY = 8
+
+
+@dataclass
+class Diff:
+    page_number: int
+    offsets: np.ndarray          # int32 word offsets within the page
+    values: np.ndarray           # float64 new values
+    #: lock-acquire counter stamped on merged diffs sent to update sets, so
+    #: receivers can discard outdated sets (Section 3.2 of the paper)
+    acquire_counter: int = 0
+    #: node that created the (last merge of the) diff
+    origin: int = -1
+
+    def __post_init__(self) -> None:
+        if len(self.offsets) != len(self.values):
+            raise ValueError("offsets/values length mismatch")
+
+    @property
+    def nwords(self) -> int:
+        return len(self.offsets)
+
+    @property
+    def size_bytes(self) -> int:
+        return BYTES_PER_ENTRY * self.nwords
+
+    @property
+    def empty(self) -> bool:
+        return self.nwords == 0
+
+    def apply(self, page: np.ndarray) -> None:
+        if self.nwords:
+            page[self.offsets] = self.values
+
+    def copy(self) -> "Diff":
+        return Diff(self.page_number, self.offsets.copy(), self.values.copy(),
+                    self.acquire_counter, self.origin)
+
+
+def create_diff(page_number: int, twin: np.ndarray, current: np.ndarray,
+                origin: int = -1) -> Diff:
+    """Scan a page against its twin and encode the differing words."""
+    if twin.shape != current.shape:
+        raise ValueError("twin/page shape mismatch")
+    changed = np.nonzero(twin != current)[0]
+    return Diff(
+        page_number,
+        changed.astype(np.int32),
+        current[changed].copy(),
+        origin=origin,
+    )
+
+
+def merge_diffs(older: Optional[Diff], newer: Diff) -> Diff:
+    """Merge two diffs for the same page; ``newer`` wins on overlapping words.
+
+    The AEC releaser merges the diffs it received from the last lock owner
+    with the diffs it just created, producing a single diff per page that
+    describes *all* modifications ever made inside the critical section.
+    """
+    if older is None or older.empty:
+        return newer.copy()
+    if older.page_number != newer.page_number:
+        raise ValueError("cannot merge diffs of different pages")
+    if newer.empty:
+        out = older.copy()
+        out.acquire_counter = newer.acquire_counter
+        out.origin = newer.origin
+        return out
+    # keep older entries not overwritten by newer ones, then newer entries
+    keep = ~np.isin(older.offsets, newer.offsets)
+    offsets = np.concatenate([older.offsets[keep], newer.offsets])
+    values = np.concatenate([older.values[keep], newer.values])
+    order = np.argsort(offsets, kind="stable")
+    return Diff(newer.page_number, offsets[order].astype(np.int32),
+                values[order], newer.acquire_counter, newer.origin)
+
+
+def apply_diffs(page: np.ndarray, diffs: Iterable[Diff]) -> None:
+    for d in diffs:
+        d.apply(page)
+
+
+def total_diff_words(diffs: Iterable[Diff]) -> int:
+    return sum(d.nwords for d in diffs)
+
+
+def total_diff_bytes(diffs: Iterable[Diff]) -> int:
+    return sum(d.size_bytes for d in diffs)

@@ -1,0 +1,22 @@
+"""Write notices: "page P was modified by node W (step S / interval I)".
+
+In AEC, write notices describe pages modified *outside* critical sections and
+are distributed at barriers; receiving one invalidates the local copy and
+tells the receiver whom to ask for the diff on a later access fault.
+TreadMarks uses the same record shape with its interval index in ``epoch``.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class WriteNotice:
+    page_number: int
+    writer: int
+    #: barrier step (AEC) or interval index (TreadMarks) of the modification
+    epoch: int
+
+    def __post_init__(self) -> None:
+        if self.writer < 0:
+            raise ValueError("writer must be a node id")

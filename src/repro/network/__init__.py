@@ -1,0 +1,6 @@
+"""Wormhole-routed mesh interconnect with source/destination contention."""
+from repro.network.message import Message
+from repro.network.mesh import Mesh
+from repro.network.network import Network
+
+__all__ = ["Message", "Mesh", "Network"]

@@ -1,0 +1,38 @@
+"""Message envelope exchanged between simulated nodes.
+
+Messages carry an arbitrary Python payload (the protocol's data) plus a
+*payload size in bytes* used for all timing: network streaming, I/O-bus
+transfers on both ends.  A fixed header models the protocol envelope.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+#: bytes of protocol header carried by every message
+HEADER_BYTES = 32
+
+
+@dataclass
+class Message:
+    kind: str
+    payload: Any = None
+    payload_bytes: int = 0
+    src: int = -1
+    dst: int = -1
+    #: free-form tag for debugging / statistics
+    tag: Any = field(default=None, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.payload_bytes < 0:
+            raise ValueError("payload_bytes must be >= 0")
+
+    @property
+    def total_bytes(self) -> int:
+        return HEADER_BYTES + self.payload_bytes
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Msg {self.kind} {self.src}->{self.dst} "
+            f"{self.payload_bytes}B tag={self.tag!r}>"
+        )

@@ -1,0 +1,57 @@
+"""End-to-end message delivery timing with link contention.
+
+Wormhole model: the header traverses ``hops`` switches (switch + wire latency
+each); the body then streams at the path width (16 bits/cycle by default).
+Contention is modelled at the two endpoints, as in the paper ("network
+contention effects are modeled both at the source and destination of
+messages"): the source injection link is held for the streaming duration, and
+the destination ejection link drains messages one at a time.
+"""
+from __future__ import annotations
+
+import math
+from typing import List
+
+from repro.config import MachineParams
+from repro.network.mesh import Mesh
+
+
+class Network:
+    def __init__(self, machine: MachineParams) -> None:
+        self.machine = machine
+        from repro.network.mesh import make_topology
+        self.mesh = make_topology(
+            getattr(machine, "topology", "mesh"), machine.num_procs)
+        self._src_free: List[float] = [0.0] * machine.num_procs
+        self._dst_free: List[float] = [0.0] * machine.num_procs
+        self.messages = 0
+        self.bytes = 0
+        import numpy as np
+        #: per-(src, dst) message counts (who talks to whom)
+        self.pair_messages = np.zeros(
+            (machine.num_procs, machine.num_procs), dtype=np.int64)
+        self.pair_bytes = np.zeros(
+            (machine.num_procs, machine.num_procs), dtype=np.int64)
+
+    def stream_cycles(self, nbytes: int) -> float:
+        return math.ceil(nbytes / self.machine.net_bytes_per_cycle)
+
+    def deliver(self, src: int, dst: int, nbytes: int, time: float) -> float:
+        """Reserve links and return the delivery completion time at ``dst``."""
+        if src == dst:
+            return time
+        m = self.machine
+        stream = self.stream_cycles(nbytes)
+        start = max(time, self._src_free[src])
+        self._src_free[src] = start + stream
+        header_arrival = start + self.mesh.hops(src, dst) * (
+            m.switch_cycles + m.wire_cycles
+        )
+        drain_start = max(header_arrival, self._dst_free[dst])
+        delivery = drain_start + stream
+        self._dst_free[dst] = delivery
+        self.messages += 1
+        self.bytes += nbytes
+        self.pair_messages[src, dst] += 1
+        self.pair_bytes[src, dst] += nbytes
+        return delivery

@@ -1,0 +1,4 @@
+"""DSM protocol implementations: common base, SC oracle, TreadMarks (LRC)."""
+from repro.protocols.base import ProtocolNode, World
+
+__all__ = ["ProtocolNode", "World"]

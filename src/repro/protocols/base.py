@@ -1,0 +1,306 @@
+"""Common machinery shared by all simulated SW-DSM protocols.
+
+``World`` bundles everything global to one simulation run (configuration,
+segment layout, synchronization registry, the engine, shared statistics).
+``ProtocolNode`` is the per-node protocol object: the application driver
+calls its generator methods (``read``/``write``/``acquire``/...), and the
+engine runs its ``handle_message`` as the node's interrupt service routine.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Generator, List, Optional, Set
+
+import numpy as np
+
+from repro.config import MachineParams, SimConfig
+from repro.engine.events import Delay, Resolve, Send, Wait
+from repro.engine.future import Future
+from repro.engine.simulator import Simulator
+from repro.machine.node import NodeHardware
+from repro.memory.diff import Diff, create_diff
+from repro.memory.layout import Layout
+from repro.memory.pagestore import PageStore
+from repro.network.message import Message
+from repro.stats.diff_stats import DiffStats
+from repro.stats.fault_stats import FaultStats
+from repro.sync.objects import SyncRegistry
+
+
+class World:
+    """Global context of one simulation run."""
+
+    def __init__(self, config: SimConfig, layout: Layout,
+                 sync: SyncRegistry) -> None:
+        self.config = config
+        self.machine: MachineParams = config.machine
+        self.layout = layout
+        self.sync = sync
+        self.sim = Simulator(config)
+        self.nodes: List["ProtocolNode"] = []
+        from repro.stats.trace import NullTrace, Trace
+        self.trace = (Trace(capacity=config.trace_capacity)
+                      if getattr(config, "trace", False) else NullTrace())
+        self.diff_stats = DiffStats(num_procs=self.machine.num_procs)
+        self.lap_stats: Optional[Any] = None  # set by protocols that track LAP
+        #: acquire counts per lock id (granted acquires, Table 2 / Table 3)
+        self.lock_acquires: Dict[int, int] = {}
+        #: number of completed global barrier episodes
+        self.barrier_events: int = 0
+        #: slots used by the SC oracle protocol (single shared store)
+        self.shared_oracle_store: Optional[Any] = None
+        self.central_sync: Optional[Any] = None
+
+    def register(self, node: "ProtocolNode") -> None:
+        assert node.node_id == len(self.nodes)
+        self.nodes.append(node)
+        self.sim.set_handler(node.node_id, node.handle_message)
+
+    def count_acquire(self, lock_id: int) -> None:
+        self.lock_acquires[lock_id] = self.lock_acquires.get(lock_id, 0) + 1
+
+
+@dataclass
+class PageMeta:
+    """Per-node coherence state of one page."""
+
+    valid: bool = False
+    writable: bool = False
+    twin: Optional[np.ndarray] = None
+    #: node ever held a copy (distinguishes cold faults)
+    ever_valid: bool = False
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+
+class ProtocolNode:
+    """Base class for one node's protocol engine."""
+
+    name = "base"
+    #: protocols override this to attach per-page protocol state
+    page_meta_factory = PageMeta
+
+    def __init__(self, world: World, node_id: int) -> None:
+        self.world = world
+        self.node_id = node_id
+        self.machine = world.machine
+        self.layout = world.layout
+        self.sync = world.sync
+        self.sim = world.sim
+        self.store = PageStore(self.machine.words_per_page)
+        self.hw = NodeHardware(self.machine)
+        self.pages: Dict[int, PageMeta] = {}
+        self.fault_stats = FaultStats()
+        self.locks_held: Set[int] = set()
+        self._futures = 0
+        self._handlers: Dict[str, Callable[[Message], Optional[Generator]]] = {}
+        world.register(self)
+        if node_id == 0:
+            # node 0 physically hosts the initial (zero) copy of every page
+            for pn in range(self.layout.total_pages):
+                self.store.ensure(pn)
+                meta = self.page_meta_factory()
+                meta.valid = True
+                meta.ever_valid = True
+                self.pages[pn] = meta
+
+    # ------------------------------------------------------------- utilities
+
+    def now(self) -> float:
+        return self.sim.nodes[self.node_id].clock
+
+    def page(self, pn: int) -> PageMeta:
+        meta = self.pages.get(pn)
+        if meta is None:
+            meta = self.page_meta_factory()
+            self.pages[pn] = meta
+        return meta
+
+    def new_future(self, label: str = "") -> Future:
+        self._futures += 1
+        return Future(label=f"n{self.node_id}/{label}/{self._futures}")
+
+    def in_critical_section(self) -> bool:
+        return bool(self.locks_held)
+
+    def handler(self, kind: str):
+        """Decorator-free handler registration helper."""
+        raise NotImplementedError
+
+    def handle_message(self, msg: Message) -> Optional[Generator]:
+        fn = self._handlers.get(msg.kind)
+        if fn is None:
+            raise RuntimeError(f"{self.name} node {self.node_id}: "
+                               f"no handler for message {msg.kind!r}")
+        return fn(msg)
+
+    # ------------------------------------------------- page/diff primitives
+
+    def page_words(self) -> int:
+        return self.machine.words_per_page
+
+    def page_addr(self, pn: int) -> int:
+        return pn * self.machine.words_per_page
+
+    def make_twin(self, pn: int, category: str = "data") -> Generator:
+        """Copy the page before writing so modifications can be diffed."""
+        meta = self.page(pn)
+        if meta.twin is not None:
+            return
+        page = self.store.page(pn)
+        meta.twin = page.copy()
+        cycles = self.machine.twin_cycles(self.page_words())
+        self.fault_stats.twin_cycles += cycles
+        yield Delay(cycles, category)
+
+    def create_diff_timed(self, pn: int, category: str,
+                          hidden_behind: Optional[Future] = None) -> Generator:
+        """Create (and time) a diff of page ``pn`` against its twin.
+
+        ``hidden_behind``: a future the caller is logically waiting on; the
+        part of the creation that finished before that future resolved was
+        hidden behind the synchronization delay (Table 4's "Hidden" column).
+        Returns the Diff via the generator's return value.
+        """
+        meta = self.page(pn)
+        if meta.twin is None:
+            raise RuntimeError(f"page {pn} has no twin to diff against")
+        # determine the encoding first (bookkeeping), then charge the
+        # word-proportional creation cost of the paper's Table 1
+        diff = create_diff(pn, meta.twin, self.store.page(pn), origin=self.node_id)
+        start = self.now()
+        cycles = self.machine.diff_create_cycles(diff.nwords)
+        yield Delay(cycles, category)
+        end = self.now()
+        # re-scan: the page may have changed while the creation was in
+        # progress (an ISR applied a diff); capture the final state
+        diff = create_diff(pn, meta.twin, self.store.page(pn), origin=self.node_id)
+        hidden = self._hidden_portion(start, end, cycles, hidden_behind)
+        self.world.diff_stats.record_create(diff.size_bytes, cycles, hidden)
+        self.world.trace.record(end, self.node_id, "diff.create",
+                                page=pn, bytes=diff.size_bytes,
+                                hidden=hidden > 0)
+        return diff
+
+    def apply_diff_timed(self, diff: Diff, category: str,
+                         hidden_behind: Optional[Future] = None) -> Generator:
+        """Apply a diff to the local copy of its page, with timing."""
+        pn = diff.page_number
+        page = self.store.page(pn)
+        start = self.now()
+        cycles = self.machine.diff_apply_cycles(max(diff.nwords, 1))
+        yield Delay(cycles, category)
+        end = self.now()
+        diff.apply(page)
+        self.hw.page_updated(self.page_addr(pn), self.page_words())
+        hidden = self._hidden_portion(start, end, cycles, hidden_behind)
+        self.world.diff_stats.record_apply(cycles, hidden)
+
+    @staticmethod
+    def _hidden_portion(start: float, end: float, cycles: float,
+                        hidden_behind: Optional[Future]) -> float:
+        if hidden_behind is None:
+            return 0.0
+        if not hidden_behind.done:
+            return cycles  # the wait outlived the whole operation
+        resolve = hidden_behind.resolve_time
+        if resolve >= end:
+            return cycles
+        return max(0.0, min(cycles, resolve - start))
+
+    # ------------------------------------------------------- access pipeline
+
+    def read(self, addr: int, nwords: int) -> Generator:
+        """Application-level ranged read; returns the data."""
+        for pn in self.layout.pages_of_range(addr, nwords):
+            meta = self.page(pn)
+            if not meta.valid:
+                yield from self._timed_fault(pn, is_write=False)
+        cost = self.hw.access(addr, nwords, is_write=False)
+        yield Delay(cost.busy, "busy")
+        if cost.others:
+            yield Delay(cost.others, "others")
+        return self.store.read(addr, nwords)
+
+    def write(self, addr: int, values: np.ndarray) -> Generator:
+        """Application-level ranged write.
+
+        The permission check and the store must be atomic with respect to
+        interrupt handlers: an ISR may freeze a diff / close an interval
+        while this operation is paying its cycle costs, revoking write
+        permission underneath us.  Hardware retries the faulting store; we
+        do the same by looping until a pass completes with permissions
+        intact (the final check and the store happen without any yields in
+        between, so no ISR can interleave).
+        """
+        nwords = len(values)
+        pages = list(self.layout.pages_of_range(addr, nwords))
+        attempts = 0
+        while True:
+            attempts += 1
+            if attempts > 100:
+                raise RuntimeError(
+                    f"node {self.node_id}: write to {addr} keeps faulting")
+            for pn in pages:
+                meta = self.page(pn)
+                if not meta.valid or not meta.writable:
+                    yield from self._timed_fault(pn, is_write=True)
+            cost = self.hw.access(addr, nwords, is_write=True)
+            yield Delay(cost.busy, "busy")
+            if cost.others:
+                yield Delay(cost.others, "others")
+            if all(self.pages[pn].valid and self.pages[pn].writable
+                   for pn in pages):
+                self.store.write(addr, np.asarray(values, dtype=np.float64))
+                return
+
+    def _timed_fault(self, pn: int, is_write: bool) -> Generator:
+        meta = self.page(pn)
+        t0 = self.now()
+        self.world.trace.record(t0, self.node_id,
+                                "fault.write" if is_write else "fault.read",
+                                page=pn, cold=not meta.ever_valid,
+                                in_cs=self.in_critical_section())
+        if not meta.ever_valid:
+            self.fault_stats.cold_faults += 1
+        if self.in_critical_section():
+            self.fault_stats.inside_cs_faults += 1
+        if is_write:
+            if meta.valid:
+                self.fault_stats.protection_faults += 1
+            else:
+                self.fault_stats.write_faults += 1
+        else:
+            self.fault_stats.read_faults += 1
+        # page-fault trap entry
+        yield Delay(self.machine.interrupt_cycles, "data")
+        if is_write:
+            yield from self.handle_write_fault(pn)
+        else:
+            yield from self.handle_read_fault(pn)
+        meta.ever_valid = meta.ever_valid or meta.valid
+        self.fault_stats.fault_cycles += self.now() - t0
+
+    # --------------------------------------------- protocol-specific pieces
+
+    def handle_read_fault(self, pn: int) -> Generator:
+        raise NotImplementedError
+
+    def handle_write_fault(self, pn: int) -> Generator:
+        raise NotImplementedError
+
+    def acquire(self, lock_id: int) -> Generator:
+        raise NotImplementedError
+
+    def release(self, lock_id: int) -> Generator:
+        raise NotImplementedError
+
+    def barrier(self, barrier_id: int) -> Generator:
+        raise NotImplementedError
+
+    def acquire_notice(self, lock_id: int) -> Generator:
+        """Virtual-queue hint; protocols without LAP ignore it (zero cost)."""
+        return
+        yield  # pragma: no cover - makes this a generator
+
+    def finalize(self) -> None:
+        """Hook called after the simulation completes."""

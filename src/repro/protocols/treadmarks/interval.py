@@ -1,0 +1,53 @@
+"""Interval records and the per-node interval log (TreadMarks bookkeeping)."""
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+
+@dataclass(frozen=True)
+class IntervalRecord:
+    """A closed interval of one writer: its write notices travel as a unit."""
+
+    writer: int
+    index: int          # per-writer interval index (vector-clock component)
+    stamp: int          # Lamport stamp at close (global partial-order proxy)
+    pages: Tuple[int, ...]
+
+    @property
+    def element_count(self) -> int:
+        return 3 + len(self.pages)
+
+
+class IntervalLog:
+    """All interval records a node knows, indexed by writer."""
+
+    def __init__(self, num_procs: int) -> None:
+        self._by_writer: Dict[int, List[IntervalRecord]] = {
+            w: [] for w in range(num_procs)
+        }
+
+    def add(self, rec: IntervalRecord) -> bool:
+        """Insert a record; returns False if already known."""
+        lst = self._by_writer[rec.writer]
+        for existing in reversed(lst):
+            if existing.index == rec.index:
+                return False
+            if existing.index < rec.index:
+                break
+        lst.append(rec)
+        lst.sort(key=lambda r: r.index)
+        return True
+
+    def newer_than(self, vc: List[int]) -> List[IntervalRecord]:
+        """Records the holder of vector clock ``vc`` has not seen."""
+        out: List[IntervalRecord] = []
+        for writer, lst in self._by_writer.items():
+            for rec in lst:
+                if rec.index >= vc[writer]:
+                    out.append(rec)
+        out.sort(key=lambda r: (r.stamp, r.writer, r.index))
+        return out
+
+    def count(self) -> int:
+        return sum(len(v) for v in self._by_writer.values())

@@ -1,0 +1,48 @@
+"""Execution-time breakdown in the paper's Figure 4 categories."""
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List
+
+from repro.engine.events import CATEGORIES
+
+
+@dataclass
+class Breakdown:
+    cycles: Dict[str, float] = field(
+        default_factory=lambda: {c: 0.0 for c in CATEGORIES}
+    )
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, float]) -> "Breakdown":
+        b = cls()
+        for k, v in d.items():
+            if k not in b.cycles:
+                raise ValueError(f"unknown category {k!r}")
+            b.cycles[k] = v
+        return b
+
+    @classmethod
+    def average(cls, parts: Iterable["Breakdown"]) -> "Breakdown":
+        parts = list(parts)
+        out = cls()
+        if not parts:
+            return out
+        for c in CATEGORIES:
+            out.cycles[c] = sum(p.cycles[c] for p in parts) / len(parts)
+        return out
+
+    @property
+    def total(self) -> float:
+        return sum(self.cycles.values())
+
+    def fraction(self, category: str) -> float:
+        t = self.total
+        return self.cycles[category] / t if t else 0.0
+
+    def __getitem__(self, category: str) -> float:
+        return self.cycles[category]
+
+    def as_percentages(self) -> Dict[str, float]:
+        t = self.total or 1.0
+        return {c: 100.0 * v / t for c, v in self.cycles.items()}

@@ -1,0 +1,49 @@
+"""The result of simulating one (application, protocol) pair."""
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.stats.breakdown import Breakdown
+from repro.stats.diff_stats import DiffStats
+from repro.stats.fault_stats import FaultStats
+
+
+@dataclass
+class RunResult:
+    app: str
+    protocol: str
+    num_procs: int
+    #: simulated execution time in cycles (max over nodes)
+    execution_time: float
+    #: per-node breakdowns and their average
+    node_breakdowns: List[Breakdown]
+    breakdown: Breakdown
+    #: per-node application return values (for cross-protocol validation)
+    app_results: List[Any]
+    diff_stats: DiffStats
+    fault_stats: FaultStats
+    #: per-lock acquire counts, barrier event count
+    lock_acquires: Dict[int, int] = field(default_factory=dict)
+    barrier_events: int = 0
+    #: LAP success statistics (None when not tracked)
+    lap_stats: Optional[Any] = None
+    messages_total: int = 0
+    network_bytes: int = 0
+    events_processed: int = 0
+    wall_seconds: float = 0.0
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def total_lock_acquires(self) -> int:
+        return sum(self.lock_acquires.values())
+
+    def summary(self) -> str:
+        pct = self.breakdown.as_percentages()
+        cats = "  ".join(f"{k}={v:5.1f}%" for k, v in pct.items())
+        return (
+            f"{self.app:<10} {self.protocol:<8} "
+            f"T={self.execution_time / 1e6:9.2f}Mcy  {cats}  "
+            f"acq={self.total_lock_acquires} bar={self.barrier_events} "
+            f"msgs={self.messages_total}"
+        )

@@ -1,0 +1,121 @@
+"""Protocol event tracing.
+
+An optional, zero-overhead-when-off recorder of protocol-level events
+(lock transfers, barrier episodes, page faults, diff movements, messages),
+with query helpers and text export.  Used by the analysis tools in
+:mod:`repro.tools` and by tests that assert event-level properties.
+
+Enable per run via ``SimConfig(trace=True)`` or pass a ``Trace`` to the
+runner; events carry the simulated timestamp, the node, a kind and a small
+payload dict.
+"""
+from __future__ import annotations
+
+import json
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional
+
+#: canonical event kinds emitted by the protocols
+KINDS = (
+    "lock.request", "lock.grant", "lock.release",
+    "barrier.arrive", "barrier.complete",
+    "fault.read", "fault.write",
+    "diff.create", "diff.apply", "diff.push",
+    "page.fetch", "msg.send",
+)
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    time: float
+    node: int
+    kind: str
+    detail: Dict[str, Any] = field(default_factory=dict)
+
+    def to_json(self) -> str:
+        return json.dumps({"t": self.time, "node": self.node,
+                           "kind": self.kind, **self.detail},
+                          sort_keys=True, default=str)
+
+
+class Trace:
+    """An in-memory event log with query helpers."""
+
+    def __init__(self, capacity: Optional[int] = None) -> None:
+        self.events: List[TraceEvent] = []
+        self.capacity = capacity
+        self.dropped = 0
+        self.enabled = True
+
+    # ---- recording -------------------------------------------------------
+
+    def record(self, time: float, node: int, kind: str,
+               **detail: Any) -> None:
+        if not self.enabled:
+            return
+        if self.capacity is not None and len(self.events) >= self.capacity:
+            self.dropped += 1
+            return
+        self.events.append(TraceEvent(time, node, kind, detail))
+
+    # ---- queries ------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def of_kind(self, *kinds: str) -> List[TraceEvent]:
+        want = set(kinds)
+        return [e for e in self.events if e.kind in want]
+
+    def by_node(self, node: int) -> List[TraceEvent]:
+        return [e for e in self.events if e.node == node]
+
+    def between(self, t0: float, t1: float) -> List[TraceEvent]:
+        return [e for e in self.events if t0 <= e.time <= t1]
+
+    def counts(self) -> Counter:
+        return Counter(e.kind for e in self.events)
+
+    def lock_transfer_chain(self, lock_id: int) -> List[int]:
+        """The sequence of owners a lock moved through."""
+        return [e.node for e in self.events
+                if e.kind == "lock.grant" and e.detail.get("lock") == lock_id]
+
+    def critical_section_times(self, lock_id: int) -> List[float]:
+        """Durations between each grant and the owner's release."""
+        out: List[float] = []
+        open_at: Dict[int, float] = {}
+        for e in self.events:
+            if e.detail.get("lock") != lock_id:
+                continue
+            if e.kind == "lock.grant":
+                open_at[e.node] = e.time
+            elif e.kind == "lock.release" and e.node in open_at:
+                out.append(e.time - open_at.pop(e.node))
+        return out
+
+    # ---- export ------------------------------------------------------------------
+
+    def to_jsonl(self) -> str:
+        return "\n".join(e.to_json() for e in self.events)
+
+    def summary(self) -> str:
+        counts = self.counts()
+        lines = [f"trace: {len(self.events)} events"
+                 + (f" ({self.dropped} dropped)" if self.dropped else "")]
+        for kind, n in sorted(counts.items()):
+            lines.append(f"  {kind:<18} {n:>8}")
+        return "\n".join(lines)
+
+
+class NullTrace(Trace):
+    """A trace that records nothing (the default)."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.enabled = False
+
+    def record(self, time: float, node: int, kind: str,
+               **detail: Any) -> None:  # pragma: no cover - hot path no-op
+        return

@@ -1,0 +1,4 @@
+"""Synchronization object identities (locks, barriers) and manager placement."""
+from repro.sync.objects import SyncRegistry
+
+__all__ = ["SyncRegistry"]

@@ -1,0 +1,72 @@
+"""Lock and barrier identity registry.
+
+Applications declare their synchronization objects up front (like SPLASH-2's
+``LOCKDEC``/``BARDEC``).  Managers are placed statically: locks round-robin
+across nodes, barriers on node 0 — the standard TreadMarks-era assignment.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass(frozen=True)
+class LockVar:
+    lock_id: int
+    name: str
+    #: logical group for Table 3 reporting (e.g. all Raytrace task-queue
+    #: locks are grouped as one row)
+    group: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class BarrierVar:
+    barrier_id: int
+    name: str
+
+
+class SyncRegistry:
+    def __init__(self, num_procs: int) -> None:
+        self.num_procs = num_procs
+        self.locks: List[LockVar] = []
+        self.barriers: List[BarrierVar] = []
+        self._lock_names: Dict[str, int] = {}
+        self._barrier_names: Dict[str, int] = {}
+
+    def new_lock(self, name: str, group: Optional[str] = None) -> int:
+        if name in self._lock_names:
+            raise ValueError(f"lock {name!r} already declared")
+        lock_id = len(self.locks)
+        self.locks.append(LockVar(lock_id, name, group))
+        self._lock_names[name] = lock_id
+        return lock_id
+
+    def new_locks(self, prefix: str, count: int,
+                  group: Optional[str] = None) -> List[int]:
+        return [self.new_lock(f"{prefix}{i}", group or prefix) for i in range(count)]
+
+    def new_barrier(self, name: str) -> int:
+        if name in self._barrier_names:
+            raise ValueError(f"barrier {name!r} already declared")
+        bid = len(self.barriers)
+        self.barriers.append(BarrierVar(bid, name))
+        self._barrier_names[name] = bid
+        return bid
+
+    def lock_manager(self, lock_id: int) -> int:
+        if not (0 <= lock_id < len(self.locks)):
+            raise ValueError(f"unknown lock {lock_id}")
+        return lock_id % self.num_procs
+
+    def barrier_manager(self, barrier_id: int) -> int:
+        if not (0 <= barrier_id < len(self.barriers)):
+            raise ValueError(f"unknown barrier {barrier_id}")
+        return 0
+
+    @property
+    def num_locks(self) -> int:
+        return len(self.locks)
+
+    @property
+    def num_barriers(self) -> int:
+        return len(self.barriers)

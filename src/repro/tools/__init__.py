@@ -1,0 +1,6 @@
+"""Post-run analysis tools: traffic matrices, trace timelines, lock reports."""
+from repro.tools.analysis import (lock_report, message_matrix,
+                                  render_matrix, render_timeline)
+
+__all__ = ["message_matrix", "render_matrix", "render_timeline",
+           "lock_report"]

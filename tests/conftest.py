@@ -1,0 +1,50 @@
+"""Shared pytest fixtures and path setup for source checkouts."""
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+import pytest
+
+from repro.config import MachineParams, SimConfig
+
+
+@pytest.fixture
+def machine():
+    return MachineParams()
+
+
+@pytest.fixture
+def small_machine():
+    """A 4-node machine for focused protocol tests."""
+    return MachineParams(num_procs=4)
+
+
+@pytest.fixture
+def config():
+    return SimConfig()
+
+
+@pytest.fixture
+def small_config(small_machine):
+    return SimConfig(machine=small_machine)
+
+
+def make_world(num_procs=4, segments=(("data", 2048),), locks=2, barriers=1,
+               config=None):
+    """Build a World with segments/locks/barriers declared (no nodes)."""
+    from repro.memory.layout import Layout
+    from repro.protocols.base import World
+    from repro.sync.objects import SyncRegistry
+
+    config = config or SimConfig(machine=MachineParams(num_procs=num_procs))
+    layout = Layout(config.machine.words_per_page)
+    segs = {name: layout.allocate(name, n) for name, n in segments}
+    sync = SyncRegistry(num_procs)
+    for i in range(locks):
+        sync.new_lock(f"L{i}")
+    for i in range(barriers):
+        sync.new_barrier(f"B{i}")
+    world = World(config, layout, sync)
+    world.test_segments = segs
+    return world

@@ -1,0 +1,376 @@
+"""Unit tests for the discrete-event engine: delays, sends, waits, ISRs."""
+import pytest
+
+from repro.config import MachineParams, SimConfig
+from repro.engine.events import CATEGORIES, Delay, Resolve, Send, Wait
+from repro.engine.future import Future
+from repro.engine.simulator import SimulationError, Simulator
+from repro.network.message import HEADER_BYTES, Message
+
+
+def make_sim(num_procs=2, **cfg):
+    machine = MachineParams(num_procs=num_procs)
+    return Simulator(SimConfig(machine=machine, **cfg))
+
+
+def null_handler(msg):
+    return None
+
+
+class TestFuture:
+    def test_resolve_once(self):
+        f = Future("x")
+        assert not f.done
+        f.resolve(42, 10.0)
+        assert f.done and f.value == 42 and f.resolve_time == 10.0
+
+    def test_double_resolve_rejected(self):
+        f = Future()
+        f.resolve(1, 0.0)
+        with pytest.raises(RuntimeError):
+            f.resolve(2, 1.0)
+
+    def test_value_before_resolve_rejected(self):
+        with pytest.raises(RuntimeError):
+            Future().value
+
+    def test_callback_after_resolve_runs_immediately(self):
+        f = Future()
+        f.resolve(1, 0.0)
+        seen = []
+        f.on_resolve(lambda fut: seen.append(fut.value))
+        assert seen == [1]
+
+    def test_callbacks_run_in_order(self):
+        f = Future()
+        seen = []
+        f.on_resolve(lambda _: seen.append("a"))
+        f.on_resolve(lambda _: seen.append("b"))
+        f.resolve(None, 0.0)
+        assert seen == ["a", "b"]
+
+
+class TestEventValidation:
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            Delay(-1)
+
+    def test_unknown_category_rejected(self):
+        with pytest.raises(ValueError):
+            Delay(1, "bogus")
+
+    def test_categories_match_paper(self):
+        assert CATEGORIES == ("busy", "data", "synch", "ipc", "others")
+
+
+class TestDelays:
+    def test_simple_delay_advances_clock(self):
+        sim = make_sim()
+
+        def prog():
+            yield Delay(100, "busy")
+            yield Delay(50, "data")
+
+        sim.add_program(0, prog())
+        sim.set_handler(0, null_handler)
+        sim.set_handler(1, null_handler)
+        assert sim.run() == 150
+        b = sim.breakdowns()[0]
+        assert b["busy"] == 100 and b["data"] == 50
+
+    def test_zero_delay_is_free(self):
+        sim = make_sim()
+
+        def prog():
+            yield Delay(0, "busy")
+
+        sim.add_program(0, prog())
+        sim.set_handler(0, null_handler)
+        sim.set_handler(1, null_handler)
+        assert sim.run() == 0
+
+    def test_programs_run_concurrently(self):
+        sim = make_sim()
+
+        def prog(n):
+            yield Delay(n, "busy")
+
+        sim.add_program(0, prog(100))
+        sim.add_program(1, prog(300))
+        sim.set_handler(0, null_handler)
+        sim.set_handler(1, null_handler)
+        assert sim.run() == 300
+        assert sim.nodes[0].done_time == 100
+        assert sim.nodes[1].done_time == 300
+
+
+class TestWait:
+    def test_wait_resolved_by_other_node(self):
+        sim = make_sim()
+        fut = Future("f")
+
+        def waiter():
+            value = yield Wait(fut, "synch")
+            assert value == "hello"
+
+        def resolver():
+            yield Delay(500, "busy")
+            yield Resolve(fut, "hello")
+
+        sim.add_program(0, waiter())
+        sim.add_program(1, resolver())
+        sim.set_handler(0, null_handler)
+        sim.set_handler(1, null_handler)
+        assert sim.run() == 500
+        assert sim.breakdowns()[0]["synch"] == 500
+
+    def test_wait_on_done_future_is_instant(self):
+        sim = make_sim()
+        fut = Future()
+        fut.resolve(7, 0.0)
+
+        def prog():
+            v = yield Wait(fut, "synch")
+            assert v == 7
+            yield Delay(10, "busy")
+
+        sim.add_program(0, prog())
+        sim.set_handler(0, null_handler)
+        sim.set_handler(1, null_handler)
+        assert sim.run() == 10
+        assert sim.breakdowns()[0]["synch"] == 0
+
+    def test_deadlock_detected(self):
+        sim = make_sim()
+
+        def prog():
+            yield Wait(Future("never"), "synch")
+
+        sim.add_program(0, prog())
+        sim.set_handler(0, null_handler)
+        sim.set_handler(1, null_handler)
+        with pytest.raises(SimulationError, match="deadlock"):
+            sim.run()
+
+
+class TestMessaging:
+    def test_send_charges_overhead_and_delivers(self):
+        sim = make_sim()
+        got = []
+
+        def sender():
+            yield Send(1, Message("ping", payload_bytes=0), "busy")
+
+        def handler(msg):
+            got.append((msg.kind, sim.now))
+            return None
+
+        sim.add_program(0, sender())
+        sim.set_handler(0, null_handler)
+        sim.set_handler(1, handler)
+        sim.run()
+        assert got and got[0][0] == "ping"
+        # sender paid messaging overhead
+        assert sim.breakdowns()[0]["busy"] == 400
+        # receiver paid interrupt entry
+        assert sim.breakdowns()[1]["others"] == 4000
+
+    def test_payload_adds_io_cost_to_sender(self):
+        sim = make_sim()
+        m = sim.machine
+
+        def sender():
+            yield Send(1, Message("big", payload_bytes=4096), "ipc")
+
+        sim.add_program(0, sender())
+        sim.set_handler(0, null_handler)
+        sim.set_handler(1, null_handler)
+        sim.run()
+        assert sim.breakdowns()[0]["ipc"] == 400 + m.io_transfer_cycles(4096)
+
+    def test_loopback_has_no_network_or_interrupt_cost(self):
+        sim = make_sim()
+
+        def sender():
+            yield Send(0, Message("self", payload_bytes=0), "busy")
+
+        handled = []
+        sim.add_program(0, sender())
+        sim.set_handler(0, lambda msg: handled.append(msg) or None)
+        sim.set_handler(1, null_handler)
+        sim.run()
+        assert handled
+        assert sim.network.messages == 0
+        assert sim.breakdowns()[0]["others"] == 0
+
+    def test_reply_round_trip(self):
+        sim = make_sim()
+        fut = Future("reply")
+
+        def requester():
+            yield Send(1, Message("req"), "data")
+            value = yield Wait(fut, "data")
+            assert value == 99
+
+        def handler(msg):
+            yield Delay(100, "ipc")
+            yield Send(0, Message("resp", payload=99), "ipc")
+
+        def resp_handler(msg):
+            yield Resolve(fut, msg.payload)
+
+        sim.add_program(0, requester())
+        sim.set_handler(0, resp_handler)
+        sim.set_handler(1, handler)
+        sim.run()
+        assert fut.done
+
+
+class TestInterruptSemantics:
+    def test_isr_stretches_in_progress_delay(self):
+        """An interrupt during a long compute delays its completion."""
+        sim = make_sim()
+
+        def busy_prog():
+            yield Delay(100000, "busy")
+
+        def sender():
+            yield Delay(1000, "busy")
+            yield Send(0, Message("poke"), "busy")
+
+        def handler(msg):
+            yield Delay(5000, "ipc")
+
+        sim.add_program(0, busy_prog())
+        sim.add_program(1, sender())
+        sim.set_handler(0, handler)
+        sim.set_handler(1, null_handler)
+        sim.run()
+        # node 0's compute finished late: 100000 + interrupt + 5000 service
+        assert sim.nodes[0].done_time > 100000 + 4000 + 5000 - 1
+        # but busy accounting is unchanged
+        assert sim.breakdowns()[0]["busy"] == 100000
+
+    def test_isr_time_not_double_charged_during_wait(self):
+        """Service time while blocked must not inflate the wait category."""
+        sim = make_sim()
+        fut = Future("f")
+
+        def waiter():
+            value = yield Wait(fut, "synch")
+
+        def other():
+            yield Delay(100, "busy")
+            yield Send(0, Message("poke"), "busy")
+            yield Delay(100000, "busy")
+            yield Resolve(fut, None)
+
+        def handler(msg):
+            yield Delay(7000, "ipc")
+
+        sim.add_program(0, waiter())
+        sim.add_program(1, other())
+        sim.set_handler(0, handler)
+        sim.set_handler(1, null_handler)
+        sim.run()
+        b = sim.breakdowns()[0]
+        assert b["ipc"] == pytest.approx(7000 + sim.machine.io_transfer_cycles(0))
+        # wait charged = total wall minus ISR work done during it
+        assert b["synch"] < sim.nodes[0].done_time - 7000 + 1
+
+    def test_handler_must_not_block(self):
+        sim = make_sim()
+
+        def sender():
+            yield Send(1, Message("go"), "busy")
+
+        def bad_handler(msg):
+            yield Wait(Future(), "synch")
+
+        sim.add_program(0, sender())
+        sim.set_handler(0, null_handler)
+        sim.set_handler(1, bad_handler)
+        with pytest.raises(SimulationError, match="must not block"):
+            sim.run()
+
+    def test_missing_handler_raises(self):
+        sim = make_sim()
+
+        def sender():
+            yield Send(1, Message("go"), "busy")
+
+        sim.add_program(0, sender())
+        sim.set_handler(0, null_handler)
+        with pytest.raises(SimulationError, match="no message handler"):
+            sim.run()
+
+
+class TestGuards:
+    def test_cannot_run_twice(self):
+        sim = make_sim()
+        sim.set_handler(0, null_handler)
+        sim.set_handler(1, null_handler)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_duplicate_program_rejected(self):
+        sim = make_sim()
+
+        def prog():
+            yield Delay(1, "busy")
+
+        sim.add_program(0, prog())
+        with pytest.raises(SimulationError):
+            sim.add_program(0, prog())
+
+    def test_max_events_guard(self):
+        sim = make_sim(max_events=10)
+
+        def prog():
+            for _ in range(100):
+                yield Delay(1, "busy")
+
+        sim.add_program(0, prog())
+        sim.set_handler(0, null_handler)
+        sim.set_handler(1, null_handler)
+        with pytest.raises(SimulationError, match="max_events"):
+            sim.run()
+
+    def test_unknown_op_rejected(self):
+        sim = make_sim()
+
+        def prog():
+            yield "not an op"
+
+        sim.add_program(0, prog())
+        sim.set_handler(0, null_handler)
+        sim.set_handler(1, null_handler)
+        with pytest.raises(SimulationError, match="unknown op"):
+            sim.run()
+
+
+class TestDeterminism:
+    def test_identical_runs_identical_results(self):
+        def build():
+            sim = make_sim(num_procs=4)
+            fut = Future("b")
+            count = []
+
+            def prog(i):
+                yield Delay(10 * (i + 1), "busy")
+                yield Send((i + 1) % 4, Message("token", payload=i), "busy")
+                yield Delay(100, "busy")
+
+            def handler(msg):
+                yield Delay(50, "ipc")
+
+            for i in range(4):
+                sim.add_program(i, prog(i))
+                sim.set_handler(i, handler)
+            return sim.run(), sim.breakdowns()
+
+        r1, b1 = build()
+        r2, b2 = build()
+        assert r1 == r2
+        assert b1 == b2

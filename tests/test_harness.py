@@ -1,0 +1,171 @@
+"""Tests for the experiment harness: runner, cache, experiments, tables, CLI."""
+import pytest
+
+from repro.config import MachineParams, SimConfig
+from repro.harness import experiments as ex
+from repro.harness import tables
+from repro.harness.cache import cache_size, cached_run, clear_cache
+from repro.harness.cli import build_parser, main
+from repro.harness.runner import PROTOCOLS, run_app
+from repro.apps.registry import make_app
+from repro.stats.breakdown import Breakdown
+
+
+class TestRunner:
+    def test_unknown_protocol_rejected(self):
+        with pytest.raises(ValueError):
+            run_app(make_app("is", "test"), "bogus")
+
+    def test_result_fields_populated(self):
+        r = run_app(make_app("fft", "test"), "aec")
+        assert r.app == "fft" and r.protocol == "aec"
+        assert r.execution_time > 0
+        assert r.messages_total > 0
+        assert len(r.node_breakdowns) == 16
+        assert r.breakdown.total > 0
+        assert r.events_processed > 0
+        assert r.extra["lock_vars"]
+
+    def test_check_can_be_disabled(self):
+        run_app(make_app("fft", "test"), "aec", check=False)
+
+    def test_custom_machine_size(self):
+        cfg = SimConfig(machine=MachineParams(num_procs=8))
+        r = run_app(make_app("is", "test"), "aec", config=cfg)
+        assert r.num_procs == 8
+
+
+class TestCache:
+    def test_hit_returns_same_object(self):
+        clear_cache()
+        a = cached_run("fft", "test", "aec")
+        b = cached_run("fft", "test", "aec")
+        assert a is b
+        assert cache_size() == 1
+
+    def test_distinct_keys_distinct_runs(self):
+        clear_cache()
+        cached_run("fft", "test", "aec")
+        cached_run("fft", "test", "aec", update_set_size=3)
+        assert cache_size() == 2
+
+
+class TestExperiments:
+    @classmethod
+    def setup_class(cls):
+        clear_cache()
+
+    def test_table2_rows(self):
+        rows = ex.table2("test")
+        byapp = {r.app: r for r in rows}
+        assert byapp["is"].locks == 1
+        assert byapp["fft"].acquires == 16
+        assert byapp["fft"].barriers == 7
+        assert byapp["raytrace"].locks == 18
+
+    def test_table3_rows(self):
+        rows = ex.table3("test")
+        assert rows
+        for r in rows:
+            for variant, rate in r.rates.items():
+                assert rate is None or 0.0 <= rate <= 1.0
+            assert r.events > 0
+
+    def test_table3_waitq_never_beats_lap_much(self):
+        """LAP combines waitQ with more sources; grouped over locks it
+        should not lose to plain waitQ by a wide margin."""
+        for r in ex.table3("test"):
+            lap, wq = r.rates["lap"], r.rates["waitq"]
+            if lap is not None and wq is not None:
+                assert lap >= wq - 0.05
+
+    def test_table4_rows(self):
+        rows = ex.table4("test")
+        assert {r.app for r in rows} == {"is", "raytrace", "water-ns",
+                                         "fft", "ocean", "water-sp"}
+        for r in rows:
+            assert r.avg_diff_bytes >= 0
+            assert 0 <= r.hidden_create_pct <= 100
+
+    def test_figure3_lap_reduces_fault_overhead(self):
+        for row in ex.figure3("test"):
+            assert row.normalized <= 105.0  # LAP should not hurt
+
+    def test_figure4_lap_improves_runtime(self):
+        rows = ex.figure4("test")
+        assert all(r.normalized < 100.0 for r in rows), \
+            [(r.app, r.normalized) for r in rows]
+
+    def test_figures_5_6_aec_beats_tm_overall(self):
+        rows = ex.figure5("test") + ex.figure6("test")
+        wins = sum(1 for r in rows if r.normalized < 100.0)
+        assert wins >= 5, [(r.app, r.normalized) for r in rows]
+
+    def test_ablation_upset_sizes(self):
+        rows = ex.ablation_update_set_size("test", sizes=(1, 2),
+                                           apps=("is",))
+        assert len(rows) == 2
+        assert {r.size for r in rows} == {1, 2}
+
+    def test_ablation_robustness(self):
+        rows = ex.ablation_lap_robustness("test", apps=("is",))
+        protos = {r.protocol for r in rows}
+        assert protos == {"aec", "tmk"}
+
+
+class TestTables:
+    def test_table1_text(self):
+        text = tables.render_table1()
+        assert "Messaging overhead" in text and "400 cycles" in text
+
+    def test_table_renderers_smoke(self):
+        assert "IS".lower() in tables.render_table2(ex.table2("test")).lower()
+        assert "LAP" in tables.render_table3(ex.table3("test"))
+        assert "Diff" in tables.render_table4(ex.table4("test"))
+        out = tables.render_compare("Figure 4", ex.figure4("test"))
+        assert "noLAP=100.0" in out
+        assert "|U|" in tables.render_update_set(
+            ex.ablation_update_set_size("test", sizes=(2,), apps=("is",)))
+        assert "robustness" in tables.render_robustness(
+            ex.ablation_lap_robustness("test", apps=("is",)))
+
+
+class TestBreakdown:
+    def test_average(self):
+        a = Breakdown.from_dict({"busy": 10.0})
+        b = Breakdown.from_dict({"busy": 30.0, "data": 2.0})
+        avg = Breakdown.average([a, b])
+        assert avg["busy"] == 20.0 and avg["data"] == 1.0
+
+    def test_percentages_sum_to_100(self):
+        b = Breakdown.from_dict({"busy": 10.0, "synch": 30.0})
+        assert sum(b.as_percentages().values()) == pytest.approx(100.0)
+
+    def test_unknown_category_rejected(self):
+        with pytest.raises(ValueError):
+            Breakdown.from_dict({"nope": 1.0})
+
+    def test_empty_average(self):
+        assert Breakdown.average([]).total == 0.0
+
+
+class TestCLI:
+    def test_parser_builds(self):
+        p = build_parser()
+        args = p.parse_args(["run", "--app", "is", "--scale", "test"])
+        assert args.app == "is"
+
+    def test_run_command(self, capsys):
+        assert main(["run", "--app", "fft", "--scale", "test", "-v"]) == 0
+        out = capsys.readouterr().out
+        assert "fft" in out and "execution time" in out
+
+    def test_compare_command(self, capsys):
+        assert main(["compare", "--app", "fft", "--scale", "test",
+                     "--protocols", "sc", "aec"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("fft") == 2
+
+    def test_experiment_command(self, capsys):
+        assert main(["experiment", "table1"]) == 0
+        assert "Table 1" in capsys.readouterr().out

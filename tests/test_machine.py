@@ -1,0 +1,153 @@
+"""Unit tests for the node hardware model: cache, TLB, write buffer."""
+import numpy as np
+import pytest
+
+from repro.config import MachineParams
+from repro.machine.cache import DirectMappedCache
+from repro.machine.node import NodeHardware
+from repro.machine.tlb import TLB
+from repro.machine.write_buffer import WriteBuffer
+
+
+class TestCache:
+    def make(self):
+        return DirectMappedCache(MachineParams())
+
+    def test_cold_miss_then_hit(self):
+        c = self.make()
+        assert c.access(0, 8) == 1   # one line
+        assert c.access(0, 8) == 0   # now cached
+
+    def test_range_spans_lines(self):
+        c = self.make()
+        # 20 words starting at word 4 touch lines 0,1,2 (8 words/line)
+        assert c.access(4, 20) == 3
+
+    def test_conflict_eviction(self):
+        c = self.make()
+        other = c.num_lines * c.words_per_line  # maps to same set 0
+        assert c.access(0, 1) == 1
+        assert c.access(other, 1) == 1  # evicts line 0
+        assert c.access(0, 1) == 1      # miss again
+
+    def test_invalidate_range(self):
+        c = self.make()
+        c.access(0, 64)
+        c.invalidate_range(0, 64)
+        assert c.access(0, 64) == 8  # 64 words / 8 per line
+
+    def test_invalidate_does_not_touch_other_lines(self):
+        c = self.make()
+        c.access(0, 8)
+        c.access(64, 8)
+        c.invalidate_range(0, 8)
+        assert c.access(64, 8) == 0
+
+    def test_zero_length_access(self):
+        c = self.make()
+        assert c.access(0, 0) == 0
+        c.invalidate_range(0, 0)  # no-op
+
+    def test_hit_miss_counters(self):
+        c = self.make()
+        c.access(0, 16)
+        c.access(0, 16)
+        assert c.misses == 2 and c.hits == 2
+
+    def test_whole_cache_fits(self):
+        c = self.make()
+        words = c.num_lines * c.words_per_line
+        assert c.access(0, words) == c.num_lines
+        assert c.access(0, words) == 0
+
+
+class TestTLB:
+    def make(self):
+        return TLB(MachineParams())
+
+    def test_fill_then_hit(self):
+        t = self.make()
+        assert t.access(0, 10) == 1
+        assert t.access(0, 10) == 0
+
+    def test_range_spanning_pages(self):
+        t = self.make()
+        wpp = 1024
+        assert t.access(wpp - 1, 2) == 2  # crosses a page boundary
+
+    def test_capacity_conflict(self):
+        t = self.make()
+        wpp = 1024
+        t.access(0, 1)
+        t.access(128 * wpp, 1)  # page 128 maps onto slot 0
+        assert t.access(0, 1) == 1
+
+    def test_flush_page(self):
+        t = self.make()
+        t.access(0, 1)
+        t.flush_page(0)
+        assert t.access(0, 1) == 1
+
+    def test_flush_wrong_page_is_noop(self):
+        t = self.make()
+        t.access(0, 1)
+        t.flush_page(5)
+        assert t.access(0, 1) == 0
+
+    def test_fill_cost(self):
+        assert self.make().fill_cycles() == 100
+
+
+class TestWriteBuffer:
+    def test_small_burst_absorbed(self):
+        wb = WriteBuffer(MachineParams())
+        assert wb.store_burst_stall(nwords=64, line_misses=2) == 0.0
+
+    def test_huge_burst_stalls(self):
+        wb = WriteBuffer(MachineParams())
+        stall = wb.store_burst_stall(nwords=64, line_misses=64)
+        assert stall > 0
+
+    def test_no_misses_no_stall(self):
+        wb = WriteBuffer(MachineParams())
+        assert wb.store_burst_stall(nwords=1000, line_misses=0) == 0.0
+
+    def test_stall_accumulates(self):
+        wb = WriteBuffer(MachineParams())
+        wb.store_burst_stall(8, 128)
+        wb.store_burst_stall(8, 128)
+        assert wb.stall_cycles_total > 0
+
+
+class TestNodeHardware:
+    def test_read_cost_components(self):
+        hw = NodeHardware(MachineParams())
+        cost = hw.access(0, 16, is_write=False)
+        # busy: 1 cycle/word; others: 1 TLB fill + 2 line fills
+        assert cost.busy == 16
+        assert cost.others == 100 + 2 * hw.cache.line_fill_cycles()
+
+    def test_second_access_cheap(self):
+        hw = NodeHardware(MachineParams())
+        hw.access(0, 16, is_write=False)
+        cost = hw.access(0, 16, is_write=False)
+        assert cost.others == 0
+
+    def test_page_updated_drops_cache(self):
+        hw = NodeHardware(MachineParams())
+        hw.access(0, 16, is_write=False)
+        hw.page_updated(0, 1024)
+        cost = hw.access(0, 16, is_write=False)
+        assert cost.others > 0
+
+    def test_protection_change_flushes_tlb(self):
+        hw = NodeHardware(MachineParams())
+        hw.access(0, 16, is_write=False)
+        hw.page_protection_changed(0)
+        cost = hw.access(0, 16, is_write=False)
+        assert cost.others == 100  # TLB refill only (cache unaffected)
+
+    def test_zero_access(self):
+        hw = NodeHardware(MachineParams())
+        cost = hw.access(0, 0, is_write=True)
+        assert cost.busy == 0 and cost.others == 0

@@ -1,0 +1,299 @@
+"""Protocol-level integration tests: small hand-written SPMD programs run
+against AEC / AEC-noLAP / TreadMarks / SC, checking both data correctness
+and protocol-observable behaviour (faults, pushes, hidden work)."""
+import numpy as np
+import pytest
+
+from repro.apps.api import Application, AppContext
+from repro.config import MachineParams, SimConfig
+from repro.harness.runner import run_app
+
+PROTOS = ["sc", "aec", "aec-nolap", "tmk"]
+
+
+class MiniApp(Application):
+    """Wrap a per-processor generator function as an Application."""
+
+    name = "mini"
+
+    def __init__(self, body, segments=(("data", 2048),), locks=2,
+                 barriers=1, checker=None):
+        self._body = body
+        self._segments = segments
+        self._locks = locks
+        self._barriers = barriers
+        self._checker = checker
+
+    def declare(self, layout, sync):
+        self.seg = {name: layout.allocate(name, n)
+                    for name, n in self._segments}
+        self.locks = [sync.new_lock(f"L{i}") for i in range(self._locks)]
+        self.bars = [sync.new_barrier(f"B{i}") for i in range(self._barriers)]
+
+    def program(self, ctx):
+        result = yield from self._body(self, ctx)
+        return result
+
+    def check(self, results):
+        if self._checker:
+            self._checker(results)
+
+
+def run_mini(body, protocol, procs=4, **kwargs):
+    cfg = SimConfig(machine=MachineParams(num_procs=procs))
+    return run_app(MiniApp(body, **kwargs), protocol, config=cfg)
+
+
+# ---------------------------------------------------------------- behaviours
+
+class TestLockedCounter:
+    @pytest.mark.parametrize("protocol", PROTOS)
+    def test_migratory_counter(self, protocol):
+        def body(app, ctx):
+            seg = app.seg["data"]
+            for _ in range(4):
+                yield from ctx.acquire(app.locks[0])
+                v = yield from ctx.read1(seg, 0)
+                yield from ctx.write1(seg, 0, v + 1)
+                yield from ctx.release(app.locks[0])
+            yield from ctx.barrier(app.bars[0])
+            return (yield from ctx.read1(seg, 0))
+
+        def check(results):
+            assert all(r == 16.0 for r in results), results
+
+        run_mini(body, protocol, checker=check)
+
+    @pytest.mark.parametrize("protocol", PROTOS)
+    def test_two_independent_locks_same_page(self, protocol):
+        """Two locks protecting different words of one page (EC-style)."""
+        def body(app, ctx):
+            seg = app.seg["data"]
+            which = ctx.proc % 2
+            slot = which * 64
+            for _ in range(3):
+                yield from ctx.acquire(app.locks[which])
+                v = yield from ctx.read1(seg, slot)
+                yield from ctx.write1(seg, slot, v + 1)
+                yield from ctx.release(app.locks[which])
+            yield from ctx.barrier(app.bars[0])
+            a = yield from ctx.read1(seg, 0)
+            b = yield from ctx.read1(seg, 64)
+            return (a, b)
+
+        def check(results):
+            assert all(r == (6.0, 6.0) for r in results), results
+
+        run_mini(body, protocol, checker=check)
+
+    @pytest.mark.parametrize("protocol", ["aec", "aec-nolap", "tmk"])
+    def test_empty_critical_sections(self, protocol):
+        """Locks with no shared data must still hand off correctly."""
+        def body(app, ctx):
+            for _ in range(5):
+                yield from ctx.acquire(app.locks[0])
+                yield from ctx.compute(10)
+                yield from ctx.release(app.locks[0])
+            yield from ctx.barrier(app.bars[0])
+            return True
+
+        run_mini(body, protocol)
+
+
+class TestBarrierProtectedData:
+    @pytest.mark.parametrize("protocol", PROTOS)
+    def test_partitioned_writes_visible_after_barrier(self, protocol):
+        def body(app, ctx):
+            seg = app.seg["data"]
+            base = ctx.proc * 32
+            yield from ctx.write(seg, base, np.full(32, float(ctx.proc + 1)))
+            yield from ctx.barrier(app.bars[0])
+            total = 0.0
+            for p in range(ctx.nprocs):
+                v = yield from ctx.read1(seg, p * 32)
+                total += v
+            return total
+
+        def check(results):
+            assert all(r == 10.0 for r in results), results  # 1+2+3+4
+
+        run_mini(body, protocol, checker=check)
+
+    @pytest.mark.parametrize("protocol", PROTOS)
+    def test_ownership_migration_across_steps(self, protocol):
+        """The same words are written by different procs in different steps
+        (the pattern that exposed the cumulative-diff staleness bug)."""
+        def body(app, ctx):
+            seg = app.seg["data"]
+            for step in range(3):
+                writer = step % ctx.nprocs
+                if ctx.proc == writer:
+                    yield from ctx.write1(seg, 7, float(100 * step + 1))
+                yield from ctx.barrier(app.bars[0])
+                v = yield from ctx.read1(seg, 7)
+                assert v == 100 * step + 1, \
+                    f"proc {ctx.proc} step {step}: read {v}"
+                yield from ctx.barrier(app.bars[0])
+            return True
+
+        run_mini(body, protocol, barriers=1)
+
+    @pytest.mark.parametrize("protocol", PROTOS)
+    def test_false_sharing_two_writers(self, protocol):
+        """Two writers of disjoint words on one page every step."""
+        def body(app, ctx):
+            seg = app.seg["data"]
+            for step in range(4):
+                yield from ctx.write1(seg, ctx.proc, float(step * 10 + ctx.proc))
+                yield from ctx.barrier(app.bars[0])
+                for p in range(ctx.nprocs):
+                    v = yield from ctx.read1(seg, p)
+                    assert v == step * 10 + p
+                yield from ctx.barrier(app.bars[0])
+            return True
+
+        run_mini(body, protocol)
+
+    @pytest.mark.parametrize("protocol", PROTOS)
+    def test_cold_reader_joins_late(self, protocol):
+        """A node that never touched a page reads it several steps later."""
+        def body(app, ctx):
+            seg = app.seg["data"]
+            for step in range(3):
+                if ctx.proc == 1:
+                    yield from ctx.write1(seg, 500, float(step + 1))
+                yield from ctx.barrier(app.bars[0])
+            if ctx.proc == 3:
+                v = yield from ctx.read1(seg, 500)
+                assert v == 3.0, v
+            yield from ctx.barrier(app.bars[0])
+            return True
+
+        run_mini(body, protocol)
+
+
+class TestMixedLockAndBarrier:
+    @pytest.mark.parametrize("protocol", PROTOS)
+    def test_lock_data_read_after_barrier(self, protocol):
+        """Data written inside CSs is read without the lock after a barrier
+        (allowed: the barrier makes it consistent)."""
+        def body(app, ctx):
+            seg = app.seg["data"]
+            yield from ctx.acquire(app.locks[0])
+            v = yield from ctx.read1(seg, 3)
+            yield from ctx.write1(seg, 3, v + 2)
+            yield from ctx.release(app.locks[0])
+            yield from ctx.barrier(app.bars[0])
+            v = yield from ctx.read1(seg, 3)
+            assert v == 2.0 * ctx.nprocs, v
+            yield from ctx.barrier(app.bars[0])
+            return v
+
+        run_mini(body, protocol)
+
+    @pytest.mark.parametrize("protocol", PROTOS)
+    def test_inside_and_outside_mods_same_page(self, protocol):
+        """A page carrying both lock-protected and barrier-protected words."""
+        def body(app, ctx):
+            seg = app.seg["data"]
+            # outside-of-CS word per proc
+            yield from ctx.write1(seg, 100 + ctx.proc, float(ctx.proc + 1))
+            # lock-protected accumulator on the same page
+            yield from ctx.acquire(app.locks[0])
+            v = yield from ctx.read1(seg, 99)
+            yield from ctx.write1(seg, 99, v + 1)
+            yield from ctx.release(app.locks[0])
+            yield from ctx.barrier(app.bars[0])
+            total = yield from ctx.read1(seg, 99)
+            outs = []
+            for p in range(ctx.nprocs):
+                outs.append((yield from ctx.read1(seg, 100 + p)))
+            assert total == float(ctx.nprocs)
+            assert outs == [float(p + 1) for p in range(ctx.nprocs)]
+            yield from ctx.barrier(app.bars[0])
+            return True
+
+        run_mini(body, protocol)
+
+
+class TestProtocolObservables:
+    def test_lap_reduces_cs_faults(self):
+        """The LAP payoff: in-update-set acquirers resolve faults locally."""
+        def body(app, ctx):
+            seg = app.seg["data"]
+            for _ in range(8):
+                yield from ctx.acquire(app.locks[0])
+                v = yield from ctx.read1(seg, 0)
+                yield from ctx.write1(seg, 0, v + 1)
+                yield from ctx.release(app.locks[0])
+            yield from ctx.barrier(app.bars[0])
+            return (yield from ctx.read1(seg, 0))
+
+        lap = run_mini(body, "aec")
+        nolap = run_mini(body, "aec-nolap")
+        assert lap.fault_stats.local_resolutions > 0
+        assert nolap.fault_stats.local_resolutions == 0
+        assert lap.execution_time < nolap.execution_time
+
+    def test_aec_pushes_diffs_eagerly(self):
+        def body(app, ctx):
+            seg = app.seg["data"]
+            for _ in range(4):
+                yield from ctx.acquire(app.locks[0])
+                v = yield from ctx.read1(seg, 0)
+                yield from ctx.write1(seg, 0, v + 1)
+                yield from ctx.release(app.locks[0])
+            yield from ctx.barrier(app.bars[0])
+            return True
+
+        r = run_mini(body, "aec")
+        assert r.diff_stats.diffs_created > 0
+        assert r.diff_stats.diffs_applied > 0
+
+    def test_treadmarks_hides_nothing(self):
+        def body(app, ctx):
+            seg = app.seg["data"]
+            yield from ctx.acquire(app.locks[0])
+            v = yield from ctx.read1(seg, 0)
+            yield from ctx.write1(seg, 0, v + 1)
+            yield from ctx.release(app.locks[0])
+            yield from ctx.barrier(app.bars[0])
+            return True
+
+        r = run_mini(body, "tmk")
+        assert r.diff_stats.create_cycles_hidden == 0.0
+
+    def test_aec_hides_creation_behind_barrier_wait(self):
+        """A load-imbalanced step: the fast node's outside diffs must be
+        (at least partly) created while it waits at the barrier."""
+        def body(app, ctx):
+            seg = app.seg["data"]
+            for step in range(3):
+                yield from ctx.write(seg, ctx.proc * 64,
+                                     np.full(64, float(step)))
+                # others read our block so the eager filter passes
+                yield from ctx.compute(100 if ctx.proc == 0 else 200000)
+                yield from ctx.barrier(app.bars[0])
+                other = (ctx.proc + 1) % ctx.nprocs
+                yield from ctx.read(seg, other * 64, 64)
+                yield from ctx.barrier(app.bars[0])
+            return True
+
+        r = run_mini(body, "aec")
+        assert r.diff_stats.create_cycles_hidden > 0
+
+    def test_run_deterministic(self):
+        def body(app, ctx):
+            seg = app.seg["data"]
+            for _ in range(3):
+                yield from ctx.acquire(app.locks[0])
+                v = yield from ctx.read1(seg, 0)
+                yield from ctx.write1(seg, 0, v + 1)
+                yield from ctx.release(app.locks[0])
+                yield from ctx.barrier(app.bars[0])
+            return True
+
+        r1 = run_mini(body, "aec")
+        r2 = run_mini(body, "aec")
+        assert r1.execution_time == r2.execution_time
+        assert r1.messages_total == r2.messages_total

@@ -1,0 +1,46 @@
+"""Unit tests for the synchronization object registry."""
+import pytest
+
+from repro.sync.objects import SyncRegistry
+
+
+class TestSyncRegistry:
+    def test_lock_ids_sequential(self):
+        reg = SyncRegistry(16)
+        assert reg.new_lock("a") == 0
+        assert reg.new_lock("b") == 1
+        assert reg.num_locks == 2
+
+    def test_lock_groups(self):
+        reg = SyncRegistry(16)
+        ids = reg.new_locks("mol", 4)
+        assert ids == [0, 1, 2, 3]
+        assert all(reg.locks[i].group == "mol" for i in ids)
+
+    def test_duplicate_names_rejected(self):
+        reg = SyncRegistry(16)
+        reg.new_lock("a")
+        with pytest.raises(ValueError):
+            reg.new_lock("a")
+        reg.new_barrier("a")  # separate namespace is fine
+        with pytest.raises(ValueError):
+            reg.new_barrier("a")
+
+    def test_manager_placement_round_robin(self):
+        reg = SyncRegistry(4)
+        for i in range(8):
+            reg.new_lock(f"l{i}")
+        assert [reg.lock_manager(i) for i in range(8)] == \
+            [0, 1, 2, 3, 0, 1, 2, 3]
+
+    def test_barrier_manager_is_node0(self):
+        reg = SyncRegistry(4)
+        reg.new_barrier("b")
+        assert reg.barrier_manager(0) == 0
+
+    def test_unknown_objects_rejected(self):
+        reg = SyncRegistry(4)
+        with pytest.raises(ValueError):
+            reg.lock_manager(0)
+        with pytest.raises(ValueError):
+            reg.barrier_manager(0)

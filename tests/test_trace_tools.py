@@ -1,0 +1,143 @@
+"""Tests for the event-trace subsystem and the analysis tools."""
+import json
+
+import numpy as np
+import pytest
+
+from repro import SimConfig, run_app
+from repro.apps.registry import make_app
+from repro.stats.trace import NullTrace, Trace, TraceEvent
+from repro.tools import (lock_report, message_matrix, render_matrix,
+                         render_timeline)
+
+
+class TestTraceContainer:
+    def test_record_and_query(self):
+        tr = Trace()
+        tr.record(10.0, 1, "lock.grant", lock=3)
+        tr.record(20.0, 1, "lock.release", lock=3)
+        tr.record(15.0, 2, "fault.read", page=7)
+        assert len(tr) == 3
+        assert [e.kind for e in tr.of_kind("lock.grant")] == ["lock.grant"]
+        assert len(tr.by_node(1)) == 2
+        assert len(tr.between(12, 18)) == 1
+        assert tr.counts()["fault.read"] == 1
+
+    def test_capacity_drops(self):
+        tr = Trace(capacity=2)
+        for i in range(5):
+            tr.record(float(i), 0, "msg.send")
+        assert len(tr) == 2
+        assert tr.dropped == 3
+        assert "dropped" in tr.summary()
+
+    def test_lock_chain_and_cs_times(self):
+        tr = Trace()
+        tr.record(0.0, 1, "lock.grant", lock=0)
+        tr.record(100.0, 1, "lock.release", lock=0)
+        tr.record(150.0, 2, "lock.grant", lock=0)
+        tr.record(400.0, 2, "lock.release", lock=0)
+        tr.record(50.0, 3, "lock.grant", lock=9)  # other lock: ignored
+        assert tr.lock_transfer_chain(0) == [1, 2]
+        assert tr.critical_section_times(0) == [100.0, 250.0]
+
+    def test_jsonl_export(self):
+        tr = Trace()
+        tr.record(1.5, 4, "diff.create", page=2, bytes=64)
+        lines = tr.to_jsonl().splitlines()
+        rec = json.loads(lines[0])
+        assert rec == {"t": 1.5, "node": 4, "kind": "diff.create",
+                       "page": 2, "bytes": 64}
+
+    def test_null_trace_records_nothing(self):
+        tr = NullTrace()
+        tr.record(0.0, 0, "lock.grant")
+        assert len(tr) == 0
+
+
+class TestTracedRuns:
+    @pytest.fixture(scope="class")
+    def traced(self):
+        cfg = SimConfig(trace=True)
+        return run_app(make_app("is", "test"), "aec", config=cfg)
+
+    def test_run_produces_events(self, traced):
+        tr = traced.extra["trace"]
+        counts = tr.counts()
+        assert counts["lock.grant"] == traced.total_lock_acquires
+        assert counts["lock.release"] == counts["lock.grant"]
+        assert counts["barrier.arrive"] == 16 * traced.barrier_events
+        assert counts["barrier.complete"] == counts["barrier.arrive"]
+        assert counts["diff.create"] == traced.diff_stats.diffs_created
+        assert (counts["fault.read"] + counts["fault.write"]
+                <= traced.fault_stats.total_faults)
+
+    def test_lock_chain_is_serialized(self, traced):
+        """A mutex's grant/release events must strictly alternate."""
+        tr = traced.extra["trace"]
+        holder = None
+        for e in tr.of_kind("lock.grant", "lock.release"):
+            if e.detail.get("lock") != 0:
+                continue
+            if e.kind == "lock.grant":
+                assert holder is None, "grant while held"
+                holder = e.node
+            else:
+                assert holder == e.node, "release by non-holder"
+                holder = None
+        assert holder is None
+
+    def test_tracing_off_by_default(self):
+        r = run_app(make_app("fft", "test"), "aec")
+        assert len(r.extra["trace"]) == 0
+
+    def test_tracing_does_not_change_timing(self, traced):
+        plain = run_app(make_app("is", "test"), "aec")
+        assert plain.execution_time == traced.execution_time
+
+
+class TestTools:
+    @pytest.fixture(scope="class")
+    def traced(self):
+        cfg = SimConfig(trace=True)
+        return run_app(make_app("is", "test"), "aec", config=cfg)
+
+    def test_message_matrix_consistent(self, traced):
+        m = message_matrix(traced)
+        assert m.shape == (16, 16)
+        assert m.sum() == traced.messages_total
+        assert (np.diag(m) == 0).all()  # loopback is not network traffic
+
+    def test_render_matrix(self, traced):
+        text = render_matrix(message_matrix(traced))
+        assert "rows=sender" in text
+        assert "top:" in text
+
+    def test_render_timeline(self, traced):
+        tr = traced.extra["trace"]
+        text = render_timeline(tr, kinds=["fault.read", "fault.write"])
+        assert "timeline" in text and "fault.read" in text
+        assert render_timeline(tr, node=3)
+        assert render_timeline(Trace()) == "(no events)"
+
+    def test_lock_report(self, traced):
+        text = lock_report(traced.extra["trace"])
+        assert "acquires" in text
+        # IS has one lock acquired 32 times at test scale (2 reps)
+        assert " 32 " in text or "32" in text
+
+    def test_lock_report_empty(self):
+        assert "(no lock activity" in lock_report(Trace())
+
+
+class TestAnalyzeCLI:
+    def test_analyze_command(self, capsys, tmp_path):
+        from repro.harness.cli import main
+        out_file = tmp_path / "trace.jsonl"
+        assert main(["analyze", "--app", "fft", "--scale", "test",
+                     "--trace-out", str(out_file)]) == 0
+        out = capsys.readouterr().out
+        assert "timeline" in out and "rows=sender" in out
+        assert out_file.exists()
+        first = json.loads(out_file.read_text().splitlines()[0])
+        assert "kind" in first

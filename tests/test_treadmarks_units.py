@@ -1,0 +1,51 @@
+"""Unit tests for TreadMarks bookkeeping: intervals, logs, vector clocks."""
+import pytest
+
+from repro.protocols.treadmarks.interval import IntervalLog, IntervalRecord
+
+
+class TestIntervalRecord:
+    def test_fields_and_size(self):
+        rec = IntervalRecord(writer=2, index=5, stamp=40, pages=(1, 2, 3))
+        assert rec.element_count == 6
+
+    def test_hashable(self):
+        a = IntervalRecord(1, 2, 3, (4,))
+        b = IntervalRecord(1, 2, 3, (4,))
+        assert a == b and len({a, b}) == 1
+
+
+class TestIntervalLog:
+    def test_add_and_dedupe(self):
+        log = IntervalLog(4)
+        rec = IntervalRecord(0, 0, 1, (5,))
+        assert log.add(rec)
+        assert not log.add(rec)
+        assert log.count() == 1
+
+    def test_newer_than_filters_by_vector_clock(self):
+        log = IntervalLog(4)
+        log.add(IntervalRecord(0, 0, 1, (1,)))
+        log.add(IntervalRecord(0, 1, 3, (2,)))
+        log.add(IntervalRecord(1, 0, 2, (3,)))
+        # vc says: seen writer 0 up to index 0, nothing of writer 1
+        got = log.newer_than([1, 0, 0, 0])
+        assert {(r.writer, r.index) for r in got} == {(0, 1), (1, 0)}
+
+    def test_newer_than_sorted_by_stamp(self):
+        log = IntervalLog(4)
+        log.add(IntervalRecord(1, 0, 9, ()))
+        log.add(IntervalRecord(0, 0, 2, ()))
+        log.add(IntervalRecord(2, 0, 5, ()))
+        got = log.newer_than([0, 0, 0, 0])
+        assert [r.stamp for r in got] == [2, 5, 9]
+
+    def test_out_of_order_insert(self):
+        log = IntervalLog(2)
+        log.add(IntervalRecord(0, 2, 7, ()))
+        assert log.add(IntervalRecord(0, 0, 1, ()))
+        got = log.newer_than([0, 0])
+        assert [r.index for r in got if r.writer == 0] == [0, 2]
+
+    def test_empty_log(self):
+        assert IntervalLog(2).newer_than([0, 0]) == []
