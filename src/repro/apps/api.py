@@ -26,7 +26,7 @@ Example::
 """
 from __future__ import annotations
 
-from typing import Any, Dict, Generator, List, Optional, Sequence
+from typing import Any, Dict, Generator, List, Sequence
 
 import numpy as np
 

@@ -93,7 +93,7 @@ class ISApp(Application):
             yield from ctx.barrier(self.bar)
             # phase 4: partial verification against neighbours' checksums
             neighbour = (ctx.proc + 1) % ctx.nprocs
-            other = yield from ctx.read1(self.checksums, neighbour * 16)
+            yield from ctx.read1(self.checksums, neighbour * 16)
             yield from ctx.compute(100)
             yield from ctx.barrier(self.bar)
         final = yield from ctx.read(self.rank_array, 0, self.num_buckets)

@@ -157,7 +157,7 @@ class RaytraceApp(Application):
         # read the scene region this task's rays traverse (read-only)
         span = max(64, self.scene_words // max(total // 8, 1))
         offset = (task * 977) % max(self.scene_words - span, 1)
-        scene_part = yield from ctx.read(self.scene, offset, span)
+        yield from ctx.read(self.scene, offset, span)
         # trace the rays
         yield from ctx.compute(self.task_cost(task, total))
         # write the pixel block

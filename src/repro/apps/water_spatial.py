@@ -78,8 +78,8 @@ class WaterSpatialApp(Application):
             yield from ctx.barrier(self.bar)
 
             # phase 2: intra/inter-cell forces: read own + neighbour cells
-            own = yield from ctx.read(self.mols, lo * MOL_WORDS,
-                                      (hi - lo) * MOL_WORDS)
+            yield from ctx.read(self.mols, lo * MOL_WORDS,
+                                (hi - lo) * MOL_WORDS)
             nbr = yield from ctx.read(self.mols, nbr_lo * MOL_WORDS,
                                       (nbr_hi - nbr_lo) * MOL_WORDS)
             for j in range(nbr_lo, nbr_hi):

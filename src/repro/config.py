@@ -43,6 +43,15 @@ class MachineParams:
     #: diff application / creation: 7 cycles/word + memory accesses
     diff_cycles_per_word: int = 7
     word_bytes: int = 4
+    #: duration of one processor cycle in nanoseconds (Table 1 assumes a
+    #: 100 MHz workstation, i.e. 10 ns); wall-time estimates and trace
+    #: timestamps are derived from this, never hardcoded
+    cycle_ns: float = 10.0
+
+    @property
+    def clock_hz(self) -> float:
+        """Processor clock frequency implied by :attr:`cycle_ns`."""
+        return 1e9 / self.cycle_ns
 
     @property
     def words_per_page(self) -> int:
@@ -130,8 +139,24 @@ class SimConfig:
     #: record protocol-level events (lock transfers, faults, diffs) into a
     #: queryable Trace — off by default (costs memory and time)
     trace: bool = False
-    #: cap on recorded trace events (None = unbounded)
+    #: cap on retained trace events (ring buffer keeps the most recent N;
+    #: None = unbounded)
     trace_capacity: int = 2_000_000
+    #: collect labeled metrics (LAP telemetry, faults, episode stats) into
+    #: an ``obs.MetricsRegistry`` — off by default
+    obs_metrics: bool = False
+    #: record protocol episodes as simulated-time spans (lock wait/hold,
+    #: barriers, diffs, page fetches, LAP windows) for Perfetto export
+    obs_spans: bool = False
+    #: ring-buffer cap on retained spans (most recent N; None = unbounded)
+    obs_span_capacity: int = 1_000_000
+    #: stream every finished span to this JSON-lines file as it completes
+    #: (keeps memory O(1) on bench-scale runs); implies nothing about the
+    #: in-memory ring, which still serves queries
+    obs_spans_jsonl: str = ""
+    #: profile the simulator's own wall-clock hot loop (host time, not
+    #: simulated time); report lands in ``RunResult.profile``
+    profile: bool = False
     #: safety valve: abort runs exceeding this many simulated events
     max_events: int = 50_000_000
 

@@ -13,9 +13,8 @@ protocol node charges the corresponding list-processing delays.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Set, Tuple
 
-from repro.memory.write_notice import WriteNotice
 
 
 @dataclass

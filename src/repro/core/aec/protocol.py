@@ -54,7 +54,8 @@ class AECNode(ProtocolNode):
             self.bar_mgr = AECBarrierManager(self.machine.num_procs,
                                              self.layout.total_pages)
             if world.lap_stats is None and cfg.track_lap_stats:
-                world.lap_stats = LapStats(self.sync.num_locks)
+                world.lap_stats = LapStats(self.sync.num_locks,
+                                           metrics=world.obs.metrics)
         else:
             self.bar_mgr = None
 
@@ -85,6 +86,23 @@ class AECNode(ProtocolNode):
         self._replies: Dict[int, Future] = {}
         self._req_seq = 0
         self._freeze_seq = 0
+        # ---- observability: open lock-hold spans and episode metrics
+        self._hold_spans: Dict[int, int] = {}
+        self._hold_start: Dict[int, float] = {}
+        m = world.obs.metrics
+        self._m_lock_wait = m.histogram(
+            "lock.wait_cycles", "cycles from lock request to grant")
+        self._m_lock_hold = m.histogram(
+            "lock.hold_cycles", "cycles from grant to release")
+        self._m_barrier_wait = m.histogram(
+            "barrier.wait_cycles", "cycles from arrival to completion")
+        self._m_lap_pushes = m.counter(
+            "lap.pushes", "eager update-set diff pushes sent")
+        self._m_lap_pushed_bytes = m.counter(
+            "lap.pushed_bytes", "bytes of eagerly pushed merged diffs")
+        self._m_lap_wasted_bytes = m.counter(
+            "lap.wasted_bytes", "pushed diff bytes discarded unused, "
+            "by discard reason")
 
         self._handlers = {
             "aec.lock_req": self._on_lock_req,
@@ -120,6 +138,18 @@ class AECNode(ProtocolNode):
     def _next_req(self) -> int:
         self._req_seq += 1
         return self._req_seq
+
+    def _discard_update(self, pu: PendingUpdate, reason: str) -> None:
+        """Account a buffered eager push that is (partly) thrown away."""
+        self.world.diff_stats.diffs_wasted += len(pu.diffs) - len(pu.applied)
+        unused = pu.unused_bytes
+        if unused:
+            self._m_lap_wasted_bytes.inc(unused, lock=pu.lock_id,
+                                         reason=reason)
+        if pu.span:
+            # may run in ISR context: stamp with the global simulated time
+            self.obs.spans.end(pu.span, self.sim.now, outcome=reason)
+            pu.span = 0
 
     def _request(self, dst: int, kind: str, payload: dict, nbytes: int,
                  category: str) -> Generator:
@@ -336,9 +366,12 @@ class AECNode(ProtocolNode):
             if home == self.node_id:
                 self.store.ensure(pn)
             else:
+                fetch_span = self.span_begin("page.fetch", f"page{pn}.fetch",
+                                             page=pn, home=home)
                 reply = yield from self._request(
                     home, "aec.page_req", {"pn": pn},
                     nbytes=8, category="data")
+                self.span_end(fetch_span)
                 self.store.ensure(pn, reply["content"])
                 self.hw.page_updated(self.page_addr(pn), self.page_words())
                 if reply["word_stamps"] is not None:
@@ -421,6 +454,9 @@ class AECNode(ProtocolNode):
         mgr = self.sync.lock_manager(lock_id)
         fut = self.new_future(f"grant{lock_id}")
         self._grant_futs[lock_id] = fut
+        wait_start = self.now()
+        wait_span = self.span_begin("lock.wait", f"lock{lock_id}.wait",
+                                    lock=lock_id)
         self.world.trace.record(self.now(), self.node_id, "lock.request",
                                 lock=lock_id)
         yield Send(mgr, Message("aec.lock_req",
@@ -433,7 +469,7 @@ class AECNode(ProtocolNode):
             # pushed before (or during) our own last tenure of the lock:
             # necessarily stale — applying it would roll our data back
             self.pending_updates.pop(lock_id, None)
-            self.world.diff_stats.diffs_wasted += len(pu.diffs) - len(pu.applied)
+            self._discard_update(pu, "stale")
             pu = None
         if pu is not None:
             for pn in sorted(pu.diffs):
@@ -455,6 +491,11 @@ class AECNode(ProtocolNode):
             yield from self._freeze_outside_diff(pn, "synch", hidden_behind=fut)
         grant: GrantInfo = yield Wait(fut, "synch")
         self._grant_futs.pop(lock_id, None)
+        self.span_end(wait_span, lock=lock_id, in_upset=grant.in_update_set)
+        self._m_lock_wait.observe(self.now() - wait_start, lock=lock_id)
+        self._hold_start[lock_id] = self.now()
+        self._hold_spans[lock_id] = self.span_begin(
+            "lock.hold", f"lock{lock_id}.hold", lock=lock_id)
         sess = self.session(lock_id)
         sess.acquire_counter = grant.acquire_counter
         sess.last_owner = grant.last_owner
@@ -468,8 +509,7 @@ class AECNode(ProtocolNode):
             # anything still buffered predates our tenure and is garbage
             stale = self.pending_updates.pop(lock_id, None)
             if stale is not None:
-                self.world.diff_stats.diffs_wasted += \
-                    len(stale.diffs) - len(stale.applied)
+                self._discard_update(stale, "stale")
             return
 
         if grant.in_update_set:
@@ -499,11 +539,13 @@ class AECNode(ProtocolNode):
                     pu.applied.add(pn)
                     self._absorb_lock_diff(lock_id, pu.diffs[pn])
                 # invalid pages: the buffered diff is applied at fault time
+            self.span_end(pu.span, outcome="used", applied=len(pu.applied))
+            pu.span = 0
         else:
             # stale buffered updates (if any) are now useless
             pu = self.pending_updates.pop(lock_id, None)
             if pu is not None:
-                self.world.diff_stats.diffs_wasted += len(pu.diffs) - len(pu.applied)
+                self._discard_update(pu, "unused")
         # invalidate pages modified inside this CS by other processors
         inval = [(pg, mod) for pg, mod in grant.invalidate]
         if inval:
@@ -568,6 +610,8 @@ class AECNode(ProtocolNode):
                 "sender": self.node_id,
                 "diffs": diffs,
             }
+            self._m_lap_pushes.inc(1, lock=lock_id)
+            self._m_lap_pushed_bytes.inc(nbytes, lock=lock_id)
             yield Send(q, Message("aec.upset_diffs", payload, nbytes),
                        "synch")
         self.world.trace.record(self.now(), self.node_id, "lock.release",
@@ -592,6 +636,11 @@ class AECNode(ProtocolNode):
         #    the paper's discard-and-reuse-twin; see DESIGN.md)
         self.lock_stack.pop()
         self.locks_held.discard(lock_id)
+        self.span_end(self._hold_spans.pop(lock_id, 0),
+                      pushed_to=len(sess.update_set))
+        start = self._hold_start.pop(lock_id, None)
+        if start is not None:
+            self._m_lock_hold.observe(self.now() - start, lock=lock_id)
 
     # ===================================================== barriers (program)
 
@@ -625,6 +674,9 @@ class AECNode(ProtocolNode):
         yield self._list_delay(info.element_count, "synch")
         self.world.trace.record(self.now(), self.node_id, "barrier.arrive",
                                 step=self.step)
+        bar_start = self.now()
+        bar_span = self.span_begin("barrier", f"barrier.step{self.step}",
+                                   step=self.step)
         yield Send(mgr, Message("aec.bar_arrive", info,
                                 4 * max(info.element_count, 1)), "synch")
         # overlap: create outside diffs for pages other processors used in
@@ -638,6 +690,8 @@ class AECNode(ProtocolNode):
                     pn, "synch", hidden_behind=complete_fut)
         payload = yield Wait(complete_fut, "synch")
         self._bar_complete_fut = None
+        self.span_end(bar_span, step=payload["step"])
+        self._m_barrier_wait.observe(self.now() - bar_start)
         self.world.trace.record(self.now(), self.node_id, "barrier.complete",
                                 step=payload["step"])
         yield from self._post_barrier_cleanup(payload)
@@ -661,7 +715,7 @@ class AECNode(ProtocolNode):
             sess.writers.clear()
             sess.owned_this_step = False
         for lock, pu in self.pending_updates.items():
-            self.world.diff_stats.diffs_wasted += len(pu.diffs) - len(pu.applied)
+            self._discard_update(pu, "barrier")
         self.pending_updates.clear()
         for meta in self.pages.values():
             if isinstance(meta, AECPageMeta):
@@ -733,13 +787,25 @@ class AECNode(ProtocolNode):
         if old is not None and old.acquire_counter >= counter:
             # outdated set: discard (the acquire-counter stamp decides)
             self.world.diff_stats.diffs_wasted += len(p["diffs"])
+            wasted = sum(d.size_bytes for d in p["diffs"].values())
+            if wasted:
+                self._m_lap_wasted_bytes.inc(wasted, lock=lock_id,
+                                             reason="outdated")
             yield Delay(self.machine.list_cycles(len(p["diffs"])), "ipc")
             return
         if old is not None:
-            self.world.diff_stats.diffs_wasted += len(old.diffs) - len(old.applied)
-        self.pending_updates[lock_id] = PendingUpdate(
+            self._discard_update(old, "superseded")
+        pu = PendingUpdate(
             lock_id=lock_id, acquire_counter=counter, sender=sender,
             diffs=p["diffs"])
+        if self.obs.spans.enabled:
+            # ISR context: stamp with the global simulated time (the node's
+            # program clock does not advance inside interrupt handlers)
+            pu.span = self.obs.spans.begin(
+                self.node_id, "lap.window", f"lock{lock_id}.upset",
+                self.sim.now, lock=lock_id, sender=sender,
+                pages=len(p["diffs"]))
+        self.pending_updates[lock_id] = pu
         yield Delay(self.machine.list_cycles(len(p["diffs"])), "ipc")
         expect = self._upset_expect
         if (expect is not None and expect[0] == lock_id
@@ -779,7 +845,7 @@ class AECNode(ProtocolNode):
         if not self.store.has(pn):
             raise RuntimeError(
                 f"node {self.node_id}: page request for {pn} but no copy "
-                f"(home table stale?)")
+                "(home table stale?)")
         # make our copy as current as we cheaply can before serving
         meta: AECPageMeta = self.page(pn)
         content = self.store.page(pn).copy()
@@ -850,7 +916,6 @@ class AECNode(ProtocolNode):
         self._bar_recv_diffs += 1
         for pn, diff in sorted(msg.payload["diffs"].items()):
             if self.store.has(pn):
-                start = self.now()
                 cycles = self.machine.diff_apply_cycles(max(diff.nwords, 1))
                 yield Delay(cycles, "ipc")
                 diff.apply(self.store.page(pn))

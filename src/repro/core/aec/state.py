@@ -59,6 +59,14 @@ class PendingUpdate:
     diffs: Dict[int, Diff]  # page -> merged diff
     #: pages already applied (valid at receipt or applied during acquire)
     applied: set = field(default_factory=set)
+    #: open ``lap.window`` span handle (0 when span tracing is off)
+    span: int = 0
+
+    @property
+    def unused_bytes(self) -> int:
+        """Bytes of pushed diffs that were never applied here."""
+        return sum(d.size_bytes for pn, d in self.diffs.items()
+                   if pn not in self.applied)
 
 
 @dataclass

@@ -22,13 +22,15 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Any, Callable, Dict, Generator, Iterable, List, Optional, Tuple
+from time import perf_counter
+from typing import Any, Callable, Dict, Generator, List, Optional, Tuple
 
 from repro.config import MachineParams, SimConfig
 from repro.engine.events import CATEGORIES, Delay, Resolve, Send, Wait
 from repro.engine.future import Future
 from repro.network.message import Message
 from repro.network.network import Network
+from repro.obs.profile import Profiler
 
 
 class SimulationError(RuntimeError):
@@ -86,6 +88,10 @@ class Simulator:
         self.now = 0.0
         self.events_processed = 0
         self._started = False
+        #: wall-clock hot-loop profiler; None (the default) costs one
+        #: ``is not None`` check per dispatched event
+        self.profiler: Optional[Profiler] = (
+            Profiler() if getattr(config, "profile", False) else None)
 
     # ------------------------------------------------------------------ API
 
@@ -111,6 +117,7 @@ class Simulator:
             if node.gen is not None:
                 self._step_program(node, None)
         limit = self.config.max_events
+        prof = self.profiler
         while self._heap:
             time, _, kind, payload = heapq.heappop(self._heap)
             if time < self.now - 1e-9:
@@ -119,6 +126,7 @@ class Simulator:
             self.events_processed += 1
             if self.events_processed > limit:
                 raise SimulationError(f"exceeded max_events={limit}")
+            t0 = perf_counter() if prof is not None else 0.0
             if kind == "delay_end":
                 node_id, seq = payload
                 node = self.nodes[node_id]
@@ -134,6 +142,8 @@ class Simulator:
                 self._wake(self.nodes[node_id], fut)
             else:  # pragma: no cover - defensive
                 raise SimulationError(f"unknown event kind {kind!r}")
+            if prof is not None:
+                prof.add("event." + kind, perf_counter() - t0)
         for node in self.nodes:
             if node.state != "done":
                 raise SimulationError(
@@ -253,6 +263,8 @@ class Simulator:
             recv_io = m.io_transfer_cycles(msg.payload_bytes)
             node.charge("ipc", recv_io)
             vtime += recv_io
+        prof = self.profiler
+        h0 = perf_counter() if prof is not None else 0.0
         gen = handler(msg)
         if gen is not None:
             for op in gen:
@@ -272,6 +284,8 @@ class Simulator:
                     )
                 else:
                     raise SimulationError(f"handler yielded unknown op {op!r}")
+        if prof is not None:
+            prof.add("handler." + msg.kind, perf_counter() - h0)
         service = vtime - vstart
         node.isr_cycles_total += service
         node.isr_busy_until = vstart + service

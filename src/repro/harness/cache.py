@@ -7,7 +7,7 @@ one simulation per (app, scale, protocol, config) combination.
 """
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import Dict, Tuple
 
 from repro.apps.registry import make_app
 from repro.config import SimConfig

@@ -3,7 +3,10 @@
 Examples::
 
     repro run --app is --protocol aec --scale test
+    repro run --app is --protocol aec --trace-out /tmp/is.json --profile
     repro compare --app raytrace --scale bench
+    repro trace /tmp/aec.json --app is --scale test
+    repro metrics --app is --protocol aec --scale test
     repro experiment table3 --scale test
     repro experiment all --scale bench
 """
@@ -24,14 +27,52 @@ EXPERIMENTS = ("table1", "table2", "table3", "table4",
                "ablation-upset", "ablation-robustness", "all")
 
 
+def _make_config(args, **overrides) -> SimConfig:
+    """Build a SimConfig from the shared CLI arguments."""
+    kwargs = dict(update_set_size=args.update_set_size, seed=args.seed)
+    if getattr(args, "profile", False):
+        kwargs["profile"] = True
+    if getattr(args, "trace", False) or getattr(args, "trace_out", None):
+        kwargs["obs_spans"] = True
+    kwargs.update(overrides)
+    return SimConfig(**kwargs)
+
+
+def _write_trace(result, path: str) -> bool:
+    from repro.obs.export import write_chrome_trace
+    spans = result.extra.get("spans")
+    if spans is None:
+        print(f"no spans recorded; {path} not written", file=sys.stderr)
+        return False
+    cycle_ns = 1e9 / result.clock_hz
+    try:
+        n = write_chrome_trace(path, spans.spans, cycle_ns=cycle_ns,
+                               process_name=f"{result.app}/{result.protocol}")
+    except OSError as exc:
+        print(f"error: cannot write trace to {path}: {exc}", file=sys.stderr)
+        return False
+    dropped = spans.dropped_total
+    note = f" ({dropped} dropped by ring buffer)" if dropped else ""
+    print(f"chrome trace written to {path} ({n} events{note})")
+    return True
+
+
+def _print_profile(result) -> None:
+    prof = result.extra.get("profiler")
+    if prof is not None:
+        print()
+        print(prof.render())
+
+
 def _cmd_run(args) -> int:
-    config = SimConfig(update_set_size=args.update_set_size, seed=args.seed)
+    config = _make_config(args)
     result = run_app(make_app(args.app, args.scale), args.protocol,
                      config=config)
     print(result.summary())
     if args.verbose:
+        mhz = result.clock_hz / 1e6
         print(f"  execution time : {result.execution_time:,.0f} cycles "
-              f"({result.execution_time / 1e8:.2f} s at 100 MHz)")
+              f"({result.simulated_seconds:.2f} s at {mhz:.0f} MHz)")
         print(f"  messages       : {result.messages_total:,} "
               f"({result.network_bytes:,} bytes)")
         print(f"  faults         : {result.fault_stats.total_faults:,} "
@@ -42,16 +83,44 @@ def _cmd_run(args) -> int:
               f"{100 * d.hidden_create_fraction:.1f}% creation hidden")
         print(f"  simulated evts : {result.events_processed:,} "
               f"in {result.wall_seconds:.1f}s wall")
-    return 0
+    rc = 0
+    if args.trace_out and not _write_trace(result, args.trace_out):
+        rc = 1
+    if args.profile:
+        _print_profile(result)
+    return rc
 
 
 def _cmd_compare(args) -> int:
     for protocol in args.protocols:
-        config = SimConfig(update_set_size=args.update_set_size,
-                           seed=args.seed)
+        config = _make_config(args)
         result = run_app(make_app(args.app, args.scale), protocol,
                          config=config)
         print(result.summary())
+        if getattr(args, "trace", False):
+            spans = result.extra.get("spans")
+            if spans is not None:
+                print("  " + spans.summary().replace("\n", "\n  "))
+        if args.profile:
+            _print_profile(result)
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    config = _make_config(args, obs_spans=True)
+    result = run_app(make_app(args.app, args.scale), args.protocol,
+                     config=config)
+    print(result.summary())
+    return 0 if _write_trace(result, args.out) else 1
+
+
+def _cmd_metrics(args) -> int:
+    config = _make_config(args, obs_metrics=True)
+    result = run_app(make_app(args.app, args.scale), args.protocol,
+                     config=config)
+    print(result.summary())
+    print()
+    print(result.metrics.render())
     return 0
 
 
@@ -133,6 +202,13 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--update-set-size", type=int, default=2)
     run.add_argument("--seed", type=int, default=42)
     run.add_argument("--verbose", "-v", action="store_true")
+    run.add_argument("--trace", action="store_true",
+                     help="record protocol spans during the run")
+    run.add_argument("--trace-out", metavar="FILE",
+                     help="write spans as a Chrome/Perfetto trace "
+                          "(implies --trace)")
+    run.add_argument("--profile", action="store_true",
+                     help="wall-clock profile of the simulator hot loop")
     run.set_defaults(fn=_cmd_run)
 
     cmp_ = sub.add_parser("compare", help="one app under several protocols")
@@ -143,7 +219,31 @@ def build_parser() -> argparse.ArgumentParser:
     cmp_.add_argument("--scale", choices=SCALES, default="test")
     cmp_.add_argument("--update-set-size", type=int, default=2)
     cmp_.add_argument("--seed", type=int, default=42)
+    cmp_.add_argument("--trace", action="store_true",
+                      help="record spans and print a per-protocol summary")
+    cmp_.add_argument("--profile", action="store_true",
+                      help="wall-clock profile of the simulator hot loop")
     cmp_.set_defaults(fn=_cmd_compare)
+
+    trc = sub.add_parser("trace",
+                         help="run once and export a Chrome/Perfetto trace")
+    trc.add_argument("out", metavar="OUT.json",
+                     help="output path for the trace JSON")
+    trc.add_argument("--app", choices=APP_NAMES, required=True)
+    trc.add_argument("--protocol", choices=sorted(PROTOCOLS), default="aec")
+    trc.add_argument("--scale", choices=SCALES, default="test")
+    trc.add_argument("--update-set-size", type=int, default=2)
+    trc.add_argument("--seed", type=int, default=42)
+    trc.set_defaults(fn=_cmd_trace)
+
+    met = sub.add_parser("metrics",
+                         help="run once and dump the metrics registry")
+    met.add_argument("--app", choices=APP_NAMES, required=True)
+    met.add_argument("--protocol", choices=sorted(PROTOCOLS), default="aec")
+    met.add_argument("--scale", choices=SCALES, default="test")
+    met.add_argument("--update-set-size", type=int, default=2)
+    met.add_argument("--seed", type=int, default=42)
+    met.set_defaults(fn=_cmd_metrics)
 
     ana = sub.add_parser("analyze",
                          help="run with tracing and print lock/traffic "

@@ -6,7 +6,7 @@ EXPERIMENTS.md for paper-vs-measured discussion.
 """
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.apps.registry import APP_NAMES

@@ -2,7 +2,7 @@
 from __future__ import annotations
 
 import time
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Dict, List, Optional
 
 from repro.apps.api import Application, AppContext
 from repro.config import SimConfig
@@ -68,6 +68,7 @@ def run_app(app: Application, protocol: str = "aec",
     machine = config.machine
     layout = Layout(machine.words_per_page)
     sync = SyncRegistry(machine.num_procs)
+    setup0 = time.perf_counter()
     app.declare(layout, sync)
     world = World(config, layout, sync)
 
@@ -77,19 +78,33 @@ def run_app(app: Application, protocol: str = "aec",
         ctx = AppContext(node, config.seed)
         world.sim.add_program(i, _driver(app.program(ctx), results, i))
 
+    profiler = world.sim.profiler
     wall0 = time.perf_counter()
+    if profiler is not None:
+        profiler.add("harness.setup", wall0 - setup0)
     execution_time = world.sim.run()
     wall = time.perf_counter() - wall0
+    if profiler is not None:
+        profiler.add("harness.sim_run", wall)
 
+    fin0 = time.perf_counter()
     for node in nodes:
         node.finalize()
     if check:
         app.check(results)
+    world.obs.finish(execution_time)
+    if profiler is not None:
+        profiler.add("harness.finalize", time.perf_counter() - fin0)
 
     node_breakdowns = [Breakdown.from_dict(b) for b in world.sim.breakdowns()]
     fault_total = FaultStats()
     for node in nodes:
         fault_total = fault_total.merge(node.fault_stats)
+
+    metrics_snapshot = None
+    if world.obs.metrics.enabled:
+        _publish_summary_metrics(world, execution_time)
+        metrics_snapshot = world.obs.metrics.snapshot()
 
     return RunResult(
         app=app.name,
@@ -108,6 +123,9 @@ def run_app(app: Application, protocol: str = "aec",
         network_bytes=world.sim.network.bytes,
         events_processed=world.sim.events_processed,
         wall_seconds=wall,
+        metrics=metrics_snapshot,
+        profile=profiler.as_dict() if profiler is not None else None,
+        clock_hz=machine.clock_hz,
         extra={
             "lock_vars": [(lv.lock_id, lv.name, lv.group)
                           for lv in sync.locks],
@@ -115,5 +133,31 @@ def run_app(app: Application, protocol: str = "aec",
             "pair_messages": world.sim.network.pair_messages.copy(),
             "pair_bytes": world.sim.network.pair_bytes.copy(),
             "trace": world.trace,
+            "spans": world.obs.spans if world.obs.spans.enabled else None,
+            "profiler": profiler,
         },
     )
+
+
+def _publish_summary_metrics(world: World, execution_time: float) -> None:
+    """Fold end-of-run aggregates into the metrics registry.
+
+    Derived LAP success rates are published as gauges so a plain snapshot
+    dump (``repro metrics``) shows Table 3's per-predictor numbers without
+    post-processing; the raw counters stay available for exact arithmetic.
+    """
+    m = world.obs.metrics
+    m.gauge("run.execution_cycles",
+            "simulated execution time").set(execution_time)
+    m.gauge("run.barrier_episodes",
+            "completed global barriers").set(world.barrier_events)
+    acquires = m.counter("lock.acquires", "granted lock acquires")
+    for lock_id, count in world.lock_acquires.items():
+        acquires.inc(count, lock=lock_id)
+    if world.lap_stats is not None:
+        rate = m.gauge("lap.hit_rate",
+                       "per-predictor LAP success rate (Table 3)")
+        for variant, value in world.lap_stats.overall_rates().items():
+            if variant == "events" or value is None:
+                continue
+            rate.set(value, variant=variant)

@@ -8,8 +8,8 @@ systems closely enough for the paper's size statistics.
 """
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterable, List, Optional
+from dataclasses import dataclass
+from typing import Iterable, Optional
 
 import numpy as np
 

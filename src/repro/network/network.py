@@ -13,7 +13,6 @@ import math
 from typing import List
 
 from repro.config import MachineParams
-from repro.network.mesh import Mesh
 
 
 class Network:

@@ -1,0 +1,76 @@
+"""Unified observability: metrics, simulated-time spans, wall-clock profile.
+
+One :class:`Observability` object per simulation run (``World.obs``)
+bundles the two simulated-time instruments:
+
+* ``obs.metrics`` — a :class:`~repro.obs.metrics.MetricsRegistry` of
+  labeled counters/gauges/histograms (LAP prediction telemetry, faults,
+  lock/barrier episode statistics);
+* ``obs.spans`` — a :class:`~repro.obs.spans.SpanRecorder` of protocol
+  episodes exportable to Perfetto (:mod:`repro.obs.export`).
+
+Both default to shared null implementations whose update methods are
+no-ops, so instrumentation points cost one method call when observability
+is off (and hot paths additionally guard on ``.enabled``).  The wall-clock
+:class:`~repro.obs.profile.Profiler` lives on the engine (it measures the
+host, not the simulation) and is enabled by ``SimConfig(profile=True)``.
+"""
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.obs.export import JsonlSink
+from repro.obs.metrics import (Counter, Gauge, Histogram, MetricsRegistry,
+                               NullMetricsRegistry, Snapshot)
+from repro.obs.profile import NullProfiler, Profiler
+from repro.obs.spans import (SPAN_KINDS, NullSpanRecorder, Span,
+                             SpanRecorder)
+
+__all__ = [
+    "Observability", "MetricsRegistry", "NullMetricsRegistry", "Snapshot",
+    "Counter", "Gauge", "Histogram", "SpanRecorder", "NullSpanRecorder",
+    "Span", "SPAN_KINDS", "Profiler", "NullProfiler", "JsonlSink",
+]
+
+_NULL_METRICS = NullMetricsRegistry()
+_NULL_SPANS = NullSpanRecorder()
+
+
+class Observability:
+    """The per-run bundle of simulated-time instruments."""
+
+    __slots__ = ("metrics", "spans", "_sink")
+
+    def __init__(self, metrics: Optional[MetricsRegistry] = None,
+                 spans: Optional[SpanRecorder] = None,
+                 sink: Optional[JsonlSink] = None) -> None:
+        self.metrics = metrics if metrics is not None else _NULL_METRICS
+        self.spans = spans if spans is not None else _NULL_SPANS
+        self._sink = sink
+
+    @property
+    def enabled(self) -> bool:
+        return self.metrics.enabled or self.spans.enabled
+
+    @classmethod
+    def from_config(cls, config: Any) -> "Observability":
+        """Build from ``SimConfig`` flags (null instruments when off)."""
+        metrics = (MetricsRegistry()
+                   if getattr(config, "obs_metrics", False) else None)
+        spans: Optional[SpanRecorder] = None
+        sink: Optional[JsonlSink] = None
+        if getattr(config, "obs_spans", False):
+            jsonl = getattr(config, "obs_spans_jsonl", None)
+            if jsonl:
+                sink = JsonlSink(jsonl)
+            spans = SpanRecorder(
+                capacity=getattr(config, "obs_span_capacity", None),
+                sink=sink)
+        return cls(metrics, spans, sink)
+
+    def finish(self, at: float) -> None:
+        """End-of-run hook: close open spans, flush the streaming sink."""
+        self.spans.finish(at)
+        if self._sink is not None:
+            self._sink.close()
+            self._sink = None

@@ -1,0 +1,515 @@
+"""Labeled metrics: counters, gauges and histograms with snapshots.
+
+The registry is the numeric half of the observability layer (the other
+half being :mod:`repro.obs.spans`).  Protocols and the harness register
+named metrics once and update them on the hot path; a run's final state is
+captured as an immutable :class:`Snapshot` that supports ``diff`` (what
+happened between two points) and ``merge`` (combine several runs).
+
+Design constraints, in order:
+
+1. *near-zero cost when disabled*: the default registry is
+   :class:`NullMetricsRegistry`, whose metrics are shared no-op objects —
+   an ``inc()`` there is one attribute lookup and an empty method call;
+2. *labels*: every update may carry key=value labels (``variant="lap"``,
+   ``lock=3``); each distinct label combination is a separate series;
+3. *histograms* record fixed-bucket counts (for merging and export) plus
+   streaming quantile estimates (P-squared, no sample retention).
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+#: a canonicalized label set: sorted (key, value) pairs, values stringified
+LabelKey = Tuple[Tuple[str, str], ...]
+
+#: default histogram bucket upper bounds (cycles-ish scale, powers of 4)
+DEFAULT_BUCKETS = tuple(float(4 ** k) for k in range(2, 16))
+
+DEFAULT_QUANTILES = (0.5, 0.9, 0.99)
+
+
+def label_key(labels: Dict[str, Any]) -> LabelKey:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+class P2Quantile:
+    """Streaming quantile estimation (Jain & Chlamtac's P-squared).
+
+    Maintains five markers whose heights approximate the ``q``-quantile
+    without retaining observations.  Deterministic, O(1) per observation.
+    """
+
+    __slots__ = ("q", "_n", "_heights", "_positions", "_desired", "_incr")
+
+    def __init__(self, q: float) -> None:
+        if not 0.0 < q < 1.0:
+            raise ValueError("quantile must be in (0, 1)")
+        self.q = q
+        self._n = 0
+        self._heights: List[float] = []
+        self._positions = [1.0, 2.0, 3.0, 4.0, 5.0]
+        self._desired = [1.0, 1.0 + 2.0 * q, 1.0 + 4.0 * q, 3.0 + 2.0 * q, 5.0]
+        self._incr = [0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0]
+
+    def add(self, x: float) -> None:
+        self._n += 1
+        h = self._heights
+        if len(h) < 5:
+            h.append(x)
+            if len(h) == 5:
+                h.sort()
+            return
+        # find the cell and bump extreme markers
+        if x < h[0]:
+            h[0] = x
+            k = 0
+        elif x >= h[4]:
+            h[4] = x
+            k = 3
+        else:
+            k = 0
+            while k < 3 and x >= h[k + 1]:
+                k += 1
+        for i in range(k + 1, 5):
+            self._positions[i] += 1.0
+        for i in range(5):
+            self._desired[i] += self._incr[i]
+        # adjust the three middle markers with the parabolic formula
+        for i in (1, 2, 3):
+            d = self._desired[i] - self._positions[i]
+            np_, nm = self._positions[i + 1], self._positions[i - 1]
+            if (d >= 1.0 and np_ - self._positions[i] > 1.0) or \
+               (d <= -1.0 and nm - self._positions[i] < -1.0):
+                sign = 1.0 if d >= 1.0 else -1.0
+                cand = self._parabolic(i, sign)
+                if h[i - 1] < cand < h[i + 1]:
+                    h[i] = cand
+                else:  # linear fallback
+                    j = i + int(sign)
+                    h[i] = h[i] + sign * (h[j] - h[i]) / (
+                        self._positions[j] - self._positions[i])
+                self._positions[i] += sign
+
+    def _parabolic(self, i: int, sign: float) -> float:
+        h, pos = self._heights, self._positions
+        return h[i] + sign / (pos[i + 1] - pos[i - 1]) * (
+            (pos[i] - pos[i - 1] + sign) * (h[i + 1] - h[i])
+            / (pos[i + 1] - pos[i])
+            + (pos[i + 1] - pos[i] - sign) * (h[i] - h[i - 1])
+            / (pos[i] - pos[i - 1]))
+
+    def value(self) -> Optional[float]:
+        if self._n == 0:
+            return None
+        if self._n <= 5:
+            s = sorted(self._heights)
+            idx = min(int(self.q * len(s)), len(s) - 1)
+            return s[idx]
+        return self._heights[2]
+
+
+# --------------------------------------------------------------------- cells
+
+class _CounterCell:
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, value: float = 1.0) -> None:
+        self.value += value
+
+
+class _GaugeCell:
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def add(self, value: float) -> None:
+        self.value += value
+
+
+class _HistogramCell:
+    __slots__ = ("bounds", "bucket_counts", "count", "sum", "min", "max",
+                 "estimators")
+
+    def __init__(self, bounds: Tuple[float, ...],
+                 quantiles: Tuple[float, ...]) -> None:
+        self.bounds = bounds
+        self.bucket_counts = [0] * (len(bounds) + 1)  # +1: overflow bucket
+        self.count = 0
+        self.sum = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+        self.estimators = tuple(P2Quantile(q) for q in quantiles)
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.sum += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        lo, hi = 0, len(self.bounds)
+        while lo < hi:  # first bound >= value
+            mid = (lo + hi) // 2
+            if self.bounds[mid] >= value:
+                hi = mid
+            else:
+                lo = mid + 1
+        self.bucket_counts[lo] += 1
+        for est in self.estimators:
+            est.add(value)
+
+
+# ------------------------------------------------------------------- metrics
+
+class Metric:
+    """One named metric; holds a cell per distinct label combination."""
+
+    kind = "abstract"
+
+    __slots__ = ("name", "help", "series")
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self.series: Dict[LabelKey, Any] = {}
+
+    def _cell(self, labels: Dict[str, Any]):
+        key = label_key(labels) if labels else ()
+        cell = self.series.get(key)
+        if cell is None:
+            cell = self._new_cell()
+            self.series[key] = cell
+        return cell
+
+    def _new_cell(self):
+        raise NotImplementedError
+
+    def bind(self, **labels: Any):
+        """A direct cell handle for repeated hot-path updates."""
+        return self._cell(labels)
+
+
+class Counter(Metric):
+    kind = "counter"
+    __slots__ = ()
+
+    def _new_cell(self) -> _CounterCell:
+        return _CounterCell()
+
+    def inc(self, value: float = 1.0, **labels: Any) -> None:
+        self._cell(labels).inc(value)
+
+
+class Gauge(Metric):
+    kind = "gauge"
+    __slots__ = ()
+
+    def _new_cell(self) -> _GaugeCell:
+        return _GaugeCell()
+
+    def set(self, value: float, **labels: Any) -> None:
+        self._cell(labels).set(value)
+
+    def add(self, value: float, **labels: Any) -> None:
+        self._cell(labels).add(value)
+
+
+class Histogram(Metric):
+    kind = "histogram"
+    __slots__ = ("bounds", "quantiles")
+
+    def __init__(self, name: str, help: str = "",
+                 buckets: Tuple[float, ...] = DEFAULT_BUCKETS,
+                 quantiles: Tuple[float, ...] = DEFAULT_QUANTILES) -> None:
+        super().__init__(name, help)
+        self.bounds = tuple(sorted(buckets))
+        self.quantiles = quantiles
+
+    def _new_cell(self) -> _HistogramCell:
+        return _HistogramCell(self.bounds, self.quantiles)
+
+    def observe(self, value: float, **labels: Any) -> None:
+        self._cell(labels).observe(value)
+
+
+# ------------------------------------------------------------------ snapshot
+
+@dataclass(frozen=True)
+class HistogramValue:
+    """Immutable capture of one histogram series."""
+
+    count: int
+    sum: float
+    min: Optional[float]
+    max: Optional[float]
+    bounds: Tuple[float, ...]
+    bucket_counts: Tuple[int, ...]
+    #: quantile -> estimate (dropped by diff/merge: not recomputable)
+    quantiles: Optional[Dict[float, Optional[float]]] = None
+
+    @property
+    def mean(self) -> Optional[float]:
+        return self.sum / self.count if self.count else None
+
+
+@dataclass(frozen=True)
+class Snapshot:
+    """An immutable capture of a registry's state at one instant."""
+
+    #: metric name -> label key -> value (float, or HistogramValue)
+    values: Dict[str, Dict[LabelKey, Any]] = field(default_factory=dict)
+    kinds: Dict[str, str] = field(default_factory=dict)
+
+    # ---- queries ---------------------------------------------------------
+
+    def get(self, name: str, default: Any = None, **labels: Any) -> Any:
+        series = self.values.get(name)
+        if series is None:
+            return default
+        return series.get(label_key(labels), default)
+
+    def total(self, name: str, **label_filter: Any) -> float:
+        """Sum a counter/gauge over all series matching ``label_filter``."""
+        series = self.values.get(name, {})
+        want = set(label_key(label_filter))
+        out = 0.0
+        for key, value in series.items():
+            if want <= set(key):
+                out += value.count if isinstance(value, HistogramValue) \
+                    else value
+        return out
+
+    def names(self) -> List[str]:
+        return sorted(self.values)
+
+    # ---- algebra ---------------------------------------------------------
+
+    def diff(self, earlier: "Snapshot") -> "Snapshot":
+        """What happened between ``earlier`` and this snapshot.
+
+        Counters and histogram counts subtract; gauges keep this snapshot's
+        value (a gauge is a level, not a flow).
+        """
+        out: Dict[str, Dict[LabelKey, Any]] = {}
+        for name, series in self.values.items():
+            kind = self.kinds.get(name, "counter")
+            prev = earlier.values.get(name, {})
+            new_series: Dict[LabelKey, Any] = {}
+            for key, value in series.items():
+                if kind == "gauge":
+                    new_series[key] = value
+                elif isinstance(value, HistogramValue):
+                    p = prev.get(key)
+                    if p is None:
+                        new_series[key] = value
+                    else:
+                        new_series[key] = HistogramValue(
+                            count=value.count - p.count,
+                            sum=value.sum - p.sum,
+                            min=None, max=None,
+                            bounds=value.bounds,
+                            bucket_counts=tuple(
+                                a - b for a, b in zip(value.bucket_counts,
+                                                      p.bucket_counts)),
+                        )
+                else:
+                    new_series[key] = value - prev.get(key, 0.0)
+            out[name] = new_series
+        return Snapshot(out, dict(self.kinds))
+
+    def merge(self, other: "Snapshot") -> "Snapshot":
+        """Combine two snapshots (e.g. from several runs): values add."""
+        out: Dict[str, Dict[LabelKey, Any]] = {
+            name: dict(series) for name, series in self.values.items()
+        }
+        kinds = dict(self.kinds)
+        for name, series in other.values.items():
+            kinds.setdefault(name, other.kinds.get(name, "counter"))
+            mine = out.setdefault(name, {})
+            for key, value in series.items():
+                if key not in mine:
+                    mine[key] = value
+                elif isinstance(value, HistogramValue):
+                    a = mine[key]
+                    mine[key] = HistogramValue(
+                        count=a.count + value.count,
+                        sum=a.sum + value.sum,
+                        min=min(x for x in (a.min, value.min)
+                                if x is not None) if (a.min is not None or
+                                                      value.min is not None)
+                        else None,
+                        max=max(x for x in (a.max, value.max)
+                                if x is not None) if (a.max is not None or
+                                                      value.max is not None)
+                        else None,
+                        bounds=a.bounds,
+                        bucket_counts=tuple(
+                            x + y for x, y in zip(a.bucket_counts,
+                                                  value.bucket_counts)),
+                    )
+                else:
+                    mine[key] = mine[key] + value
+        return Snapshot(out, kinds)
+
+    # ---- rendering -------------------------------------------------------
+
+    def render(self) -> str:
+        lines: List[str] = []
+        for name in self.names():
+            kind = self.kinds.get(name, "counter")
+            lines.append(f"# {name} ({kind})")
+            for key in sorted(self.values[name]):
+                label = "{" + ",".join(f"{k}={v}" for k, v in key) + "}" \
+                    if key else ""
+                value = self.values[name][key]
+                if isinstance(value, HistogramValue):
+                    q = ""
+                    if value.quantiles:
+                        q = "  " + " ".join(
+                            f"p{int(100 * p)}={v:.0f}"
+                            for p, v in sorted(value.quantiles.items())
+                            if v is not None)
+                        mean = value.mean
+                        if mean is not None:
+                            q += f" mean={mean:.0f}"
+                    lines.append(f"  {name}{label} count={value.count} "
+                                 f"sum={value.sum:.0f}{q}")
+                else:
+                    v = f"{value:g}"
+                    lines.append(f"  {name}{label} {v}")
+        return "\n".join(lines) if lines else "(no metrics recorded)"
+
+
+# ------------------------------------------------------------------ registry
+
+class MetricsRegistry:
+    """Creates and owns named metrics; captures snapshots."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, Metric] = {}
+
+    def _get(self, name: str, cls, *args, **kwargs):
+        m = self._metrics.get(name)
+        if m is None:
+            m = cls(name, *args, **kwargs)
+            self._metrics[name] = m
+        elif not isinstance(m, cls):
+            raise TypeError(
+                f"metric {name!r} already registered as {m.kind}")
+        return m
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get(name, Counter, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get(name, Gauge, help)
+
+    def histogram(self, name: str, help: str = "",
+                  buckets: Tuple[float, ...] = DEFAULT_BUCKETS,
+                  quantiles: Tuple[float, ...] = DEFAULT_QUANTILES
+                  ) -> Histogram:
+        return self._get(name, Histogram, help, buckets, quantiles)
+
+    def metrics(self) -> Iterable[Metric]:
+        return self._metrics.values()
+
+    def snapshot(self) -> Snapshot:
+        values: Dict[str, Dict[LabelKey, Any]] = {}
+        kinds: Dict[str, str] = {}
+        for name, metric in self._metrics.items():
+            kinds[name] = metric.kind
+            series: Dict[LabelKey, Any] = {}
+            for key, cell in metric.series.items():
+                if isinstance(cell, _HistogramCell):
+                    series[key] = HistogramValue(
+                        count=cell.count,
+                        sum=cell.sum,
+                        min=cell.min if cell.count else None,
+                        max=cell.max if cell.count else None,
+                        bounds=cell.bounds,
+                        bucket_counts=tuple(cell.bucket_counts),
+                        quantiles={est.q: est.value()
+                                   for est in cell.estimators},
+                    )
+                else:
+                    series[key] = cell.value
+            values[name] = series
+        return Snapshot(values, kinds)
+
+    def render(self) -> str:
+        return self.snapshot().render()
+
+
+# ---- disabled variants ----------------------------------------------------
+
+class _NullCell:
+    __slots__ = ()
+
+    def inc(self, value: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def add(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+_NULL_CELL = _NullCell()
+
+
+class _NullMetric:
+    __slots__ = ()
+    kind = "null"
+    series: Dict[LabelKey, Any] = {}
+
+    def bind(self, **labels: Any) -> _NullCell:
+        return _NULL_CELL
+
+    def inc(self, value: float = 1.0, **labels: Any) -> None:
+        pass
+
+    def set(self, value: float, **labels: Any) -> None:
+        pass
+
+    def add(self, value: float, **labels: Any) -> None:
+        pass
+
+    def observe(self, value: float, **labels: Any) -> None:
+        pass
+
+
+_NULL_METRIC = _NullMetric()
+
+
+class NullMetricsRegistry(MetricsRegistry):
+    """The default registry: every metric is a shared no-op object."""
+
+    enabled = False
+
+    def counter(self, name: str, help: str = ""):  # type: ignore[override]
+        return _NULL_METRIC
+
+    def gauge(self, name: str, help: str = ""):  # type: ignore[override]
+        return _NULL_METRIC
+
+    def histogram(self, name: str, help: str = "", buckets=DEFAULT_BUCKETS,
+                  quantiles=DEFAULT_QUANTILES):  # type: ignore[override]
+        return _NULL_METRIC
+
+    def snapshot(self) -> Snapshot:
+        return Snapshot()

@@ -1,0 +1,179 @@
+"""Span-based tracing over *simulated* time.
+
+A span is an interval ``[start, end]`` on one node's track: a lock episode
+(request→grant wait, grant→release hold), a barrier episode, a diff
+creation/application, a remote page fetch, or a LAP push→acquire window.
+Spans nest naturally on a track (a diff creation inside a lock hold), which
+Perfetto / chrome://tracing render as stacked slices.
+
+The recorder keeps *finished* spans in a ring buffer (most recent N — long
+runs never exhaust memory and never silently bias toward startup, unlike
+the old ``Trace.capacity`` behaviour) and can additionally stream every
+finished span to a sink (see :class:`repro.obs.export.JsonlSink`) so a
+full ``bench``-scale trace costs O(1) memory.
+
+Open spans at run end are closed by :meth:`SpanRecorder.finish` with an
+explicit ``truncated`` marker — a deadlocked barrier or an abandoned lock
+wait shows up in the trace instead of vanishing.
+"""
+from __future__ import annotations
+
+import itertools
+from collections import Counter, deque
+from dataclasses import dataclass, field
+from typing import Any, Deque, Dict, List, Optional
+
+#: canonical span kinds and the paper Figure 4 category each one explains
+SPAN_KINDS = {
+    "lock.wait": "synch",     # request -> grant
+    "lock.hold": "busy",      # grant -> release (application CS work)
+    "barrier": "synch",       # arrive -> complete
+    "diff.create": "data",
+    "diff.apply": "data",
+    "page.fetch": "data",
+    "lap.window": "synch",    # eager push received -> consumed/discarded
+}
+
+
+@dataclass
+class Span:
+    """One closed (or truncated-open) interval on a node's track."""
+
+    track: int
+    kind: str
+    name: str
+    start: float
+    end: Optional[float] = None
+    args: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        return (self.end - self.start) if self.end is not None else 0.0
+
+
+class SpanRecorder:
+    """Records spans keyed by integer handles; ring-buffers finished ones."""
+
+    enabled = True
+
+    def __init__(self, capacity: Optional[int] = None,
+                 sink: Optional[Any] = None) -> None:
+        self.spans: Deque[Span] = deque(maxlen=capacity)
+        self.capacity = capacity
+        self.sink = sink
+        self.dropped: Counter = Counter()
+        self.completed = 0
+        self._open: Dict[int, Span] = {}
+        self._ids = itertools.count(1)
+
+    # ---- recording -------------------------------------------------------
+
+    def begin(self, track: int, kind: str, name: str, start: float,
+              **args: Any) -> int:
+        """Open a span; returns the handle to pass to :meth:`end`."""
+        sid = next(self._ids)
+        self._open[sid] = Span(track, kind, name, start, None, args)
+        return sid
+
+    def end(self, span_id: int, end: float, **args: Any) -> Optional[Span]:
+        """Close an open span (unknown/stale handles are ignored)."""
+        span = self._open.pop(span_id, None)
+        if span is None:
+            return None
+        span.end = end
+        if args:
+            span.args.update(args)
+        self._store(span)
+        return span
+
+    def instant(self, track: int, kind: str, name: str, ts: float,
+                **args: Any) -> None:
+        """A zero-duration marker event."""
+        self._store(Span(track, kind, name, ts, ts, args))
+
+    def _store(self, span: Span) -> None:
+        if self.sink is not None:
+            self.sink.emit(span)
+        if self.capacity is not None and len(self.spans) >= self.capacity:
+            self.dropped[self.spans[0].kind] += 1
+        self.spans.append(span)
+        self.completed += 1
+
+    def finish(self, at: float) -> int:
+        """Close every still-open span at time ``at`` (marked truncated)."""
+        n = 0
+        for sid in sorted(self._open):
+            span = self._open.pop(sid)
+            span.end = max(at, span.start)
+            span.args["truncated"] = True
+            self._store(span)
+            n += 1
+        return n
+
+    # ---- queries ---------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.spans)
+
+    @property
+    def open_count(self) -> int:
+        return len(self._open)
+
+    @property
+    def dropped_total(self) -> int:
+        return sum(self.dropped.values())
+
+    def of_kind(self, *kinds: str) -> List[Span]:
+        want = set(kinds)
+        return [s for s in self.spans if s.kind in want]
+
+    def by_track(self, track: int) -> List[Span]:
+        return [s for s in self.spans if s.track == track]
+
+    def counts(self) -> Counter:
+        return Counter(s.kind for s in self.spans)
+
+    def durations(self, kind: str) -> List[float]:
+        return [s.duration for s in self.spans if s.kind == kind]
+
+    def total_time(self, kind: str) -> float:
+        return sum(self.durations(kind))
+
+    # ---- reporting -------------------------------------------------------
+
+    def summary(self) -> str:
+        counts = self.counts()
+        header = f"spans: {len(self.spans)} recorded"
+        if self.dropped_total:
+            header += f" ({self.dropped_total} evicted from ring)"
+        if self._open:
+            header += f" ({len(self._open)} still open)"
+        lines = [header]
+        for kind, n in sorted(counts.items()):
+            total = self.total_time(kind)
+            lines.append(f"  {kind:<12} {n:>8}  {total / 1e6:>10.2f}Mcy total")
+        return "\n".join(lines)
+
+
+class NullSpanRecorder(SpanRecorder):
+    """The default recorder: records nothing, all calls are no-ops."""
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__(capacity=0)
+
+    def begin(self, track: int, kind: str, name: str, start: float,
+              **args: Any) -> int:  # pragma: no cover - hot-path no-op
+        return 0
+
+    def end(self, span_id: int, end: float,
+            **args: Any) -> Optional[Span]:  # pragma: no cover
+        return None
+
+    def instant(self, track: int, kind: str, name: str, ts: float,
+                **args: Any) -> None:  # pragma: no cover
+        return
+
+    def finish(self, at: float) -> int:
+        return 0

@@ -14,7 +14,7 @@ from typing import Any, Callable, Dict, Generator, List, Optional, Set
 import numpy as np
 
 from repro.config import MachineParams, SimConfig
-from repro.engine.events import Delay, Resolve, Send, Wait
+from repro.engine.events import Delay
 from repro.engine.future import Future
 from repro.engine.simulator import Simulator
 from repro.machine.node import NodeHardware
@@ -41,6 +41,8 @@ class World:
         from repro.stats.trace import NullTrace, Trace
         self.trace = (Trace(capacity=config.trace_capacity)
                       if getattr(config, "trace", False) else NullTrace())
+        from repro.obs import Observability
+        self.obs = Observability.from_config(config)
         self.diff_stats = DiffStats(num_procs=self.machine.num_procs)
         self.lap_stats: Optional[Any] = None  # set by protocols that track LAP
         #: acquire counts per lock id (granted acquires, Table 2 / Table 3)
@@ -86,6 +88,11 @@ class ProtocolNode:
         self.layout = world.layout
         self.sync = world.sync
         self.sim = world.sim
+        self.obs = world.obs
+        self._m_faults = world.obs.metrics.counter(
+            "faults", "page faults by kind")
+        self._m_fault_cycles = world.obs.metrics.histogram(
+            "fault.cycles", "cycles spent resolving one page fault")
         self.store = PageStore(self.machine.words_per_page)
         self.hw = NodeHardware(self.machine)
         self.pages: Dict[int, PageMeta] = {}
@@ -121,6 +128,18 @@ class ProtocolNode:
 
     def in_critical_section(self) -> bool:
         return bool(self.locks_held)
+
+    # ---- observability helpers (no-ops when spans are disabled) ----------
+
+    def span_begin(self, kind: str, name: str, **args: Any) -> int:
+        spans = self.obs.spans
+        if not spans.enabled:
+            return 0
+        return spans.begin(self.node_id, kind, name, self.now(), **args)
+
+    def span_end(self, span_id: int, **args: Any) -> None:
+        if span_id:
+            self.obs.spans.end(span_id, self.now(), **args)
 
     def handler(self, kind: str):
         """Decorator-free handler registration helper."""
@@ -179,6 +198,11 @@ class ProtocolNode:
         self.world.trace.record(end, self.node_id, "diff.create",
                                 page=pn, bytes=diff.size_bytes,
                                 hidden=hidden > 0)
+        spans = self.obs.spans
+        if spans.enabled:
+            sid = spans.begin(self.node_id, "diff.create",
+                              f"diff.create p{pn}", start, page=pn)
+            spans.end(sid, end, bytes=diff.size_bytes, hidden=hidden > 0)
         return diff
 
     def apply_diff_timed(self, diff: Diff, category: str,
@@ -194,6 +218,11 @@ class ProtocolNode:
         self.hw.page_updated(self.page_addr(pn), self.page_words())
         hidden = self._hidden_portion(start, end, cycles, hidden_behind)
         self.world.diff_stats.record_apply(cycles, hidden)
+        spans = self.obs.spans
+        if spans.enabled:
+            sid = spans.begin(self.node_id, "diff.apply",
+                              f"diff.apply p{pn}", start, page=pn)
+            spans.end(sid, end, hidden=hidden > 0)
 
     @staticmethod
     def _hidden_portion(start: float, end: float, cycles: float,
@@ -271,6 +300,8 @@ class ProtocolNode:
                 self.fault_stats.write_faults += 1
         else:
             self.fault_stats.read_faults += 1
+        self._m_faults.inc(1, kind="write" if is_write else "read",
+                           cold="yes" if not meta.ever_valid else "no")
         # page-fault trap entry
         yield Delay(self.machine.interrupt_cycles, "data")
         if is_write:
@@ -278,7 +309,9 @@ class ProtocolNode:
         else:
             yield from self.handle_read_fault(pn)
         meta.ever_valid = meta.ever_valid or meta.valid
-        self.fault_stats.fault_cycles += self.now() - t0
+        cycles = self.now() - t0
+        self.fault_stats.fault_cycles += cycles
+        self._m_fault_cycles.observe(cycles)
 
     # --------------------------------------------- protocol-specific pieces
 

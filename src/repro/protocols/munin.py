@@ -20,10 +20,8 @@ again.
 """
 from __future__ import annotations
 
-from collections import deque
-from typing import Deque, Dict, Generator, List, Optional, Set, Tuple
+from typing import Dict, Generator, List, Optional, Set, Tuple
 
-import numpy as np
 
 from repro.core.lap.predictor import LapPredictor
 from repro.core.lap.state import LockPredictionState
@@ -32,7 +30,7 @@ from repro.engine.events import Delay, Resolve, Send, Wait
 from repro.engine.future import Future
 from repro.memory.diff import Diff, create_diff
 from repro.network.message import Message
-from repro.protocols.base import PageMeta, ProtocolNode, World
+from repro.protocols.base import ProtocolNode, World
 
 
 class MuninNode(ProtocolNode):
@@ -58,7 +56,8 @@ class MuninNode(ProtocolNode):
             if self.directory_of(pn) == node_id:
                 self.store.ensure(pn)  # every page starts zeroed
         if node_id == 0 and cfg.track_lap_stats and world.lap_stats is None:
-            world.lap_stats = LapStats(self.sync.num_locks)
+            world.lap_stats = LapStats(self.sync.num_locks,
+                                       metrics=world.obs.metrics)
         #: pages modified (twinned) since our last flush
         self._dirty: Set[int] = set()
         #: pages whose current dirtiness began inside a CS (per lock)

@@ -1,7 +1,7 @@
 """Interval records and the per-node interval log (TreadMarks bookkeeping)."""
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
 

@@ -71,10 +71,13 @@ class TreadMarksNode(ProtocolNode):
         self._lap_predictor = LapPredictor(cfg.update_set_size,
                                            cfg.affinity_threshold)
         if node_id == 0 and cfg.track_lap_stats and world.lap_stats is None:
-            world.lap_stats = LapStats(self.sync.num_locks)
+            world.lap_stats = LapStats(self.sync.num_locks,
+                                       metrics=world.obs.metrics)
         # ---- request/reply plumbing
         self._replies: Dict[Tuple[int, int], Future] = {}
         self._req_seq = 0
+        # ---- observability: open lock-hold span handles
+        self._hold_spans: Dict[int, int] = {}
         self._handlers = {
             "tmk.lock_req": self._on_lock_req,
             "tmk.lock_fwd": self._on_lock_fwd,
@@ -190,9 +193,12 @@ class TreadMarksNode(ProtocolNode):
             if self.node_id == 0:
                 self.store.ensure(pn)
             else:
+                fetch_span = self.span_begin("page.fetch", f"page{pn}.fetch",
+                                             page=pn, home=0)
                 reply = yield from self._request(
                     0, "tmk.page_req", {"pn": pn},
                     nbytes=8, category="data")
+                self.span_end(fetch_span)
                 self.store.ensure(pn, reply["content"])
                 self.hw.page_updated(self.page_addr(pn), self.page_words())
                 for w, stamp in reply["applied"].items():
@@ -327,6 +333,8 @@ class TreadMarksNode(ProtocolNode):
         mgr = self.sync.lock_manager(lock_id)
         fut = self.new_future(f"tmgrant{lock_id}")
         self._grant_futs[lock_id] = fut
+        wait_span = self.span_begin("lock.wait", f"lock{lock_id}.wait",
+                                    lock=lock_id)
         self.world.trace.record(self.now(), self.node_id, "lock.request",
                                 lock=lock_id)
         yield Send(mgr, Message("tmk.lock_req",
@@ -367,6 +375,9 @@ class TreadMarksNode(ProtocolNode):
                        for (w, _i, s) in meta.pending):
                     meta.pending.clear()
                     meta.valid = True
+        self.span_end(wait_span, lock=lock_id)
+        self._hold_spans[lock_id] = self.span_begin(
+            "lock.hold", f"lock{lock_id}.hold", lock=lock_id)
         self.world.trace.record(self.now(), self.node_id, "lock.grant",
                                 lock=lock_id)
         self.tm_holding.add(lock_id)
@@ -378,6 +389,7 @@ class TreadMarksNode(ProtocolNode):
             raise RuntimeError(f"node {self.node_id}: release of unheld lock")
         self.world.trace.record(self.now(), self.node_id, "lock.release",
                                 lock=lock_id)
+        self.span_end(self._hold_spans.pop(lock_id, 0))
         self.tm_holding.discard(lock_id)
         self.locks_held.discard(lock_id)
         queue = self.tm_successors.get(lock_id)
@@ -532,10 +544,13 @@ class TreadMarksNode(ProtocolNode):
                    "records": own}
         n = sum(r.element_count for r in own) + len(self.vc)
         yield Delay(self.machine.list_cycles(max(n, 1)), "synch")
+        bar_span = self.span_begin("barrier", f"barrier{barrier_id}",
+                                   barrier=barrier_id)
         yield Send(mgr, Message("tmk.bar_arrive", payload, 4 * max(n, 1)),
                    "synch")
         reply = yield Wait(fut, "synch")
         self._bar_fut = None
+        self.span_end(bar_span)
         records = reply["records"]
         if records:
             yield Delay(self.machine.list_cycles(

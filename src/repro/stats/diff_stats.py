@@ -7,7 +7,7 @@ hid behind synchronization delays.
 """
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 
 @dataclass

@@ -6,8 +6,7 @@ whether the page had ever been cached locally (cold start).
 """
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict
+from dataclasses import dataclass
 
 
 @dataclass

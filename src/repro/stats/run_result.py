@@ -32,11 +32,22 @@ class RunResult:
     network_bytes: int = 0
     events_processed: int = 0
     wall_seconds: float = 0.0
+    #: metrics snapshot (``obs.Snapshot``; None when obs_metrics is off)
+    metrics: Optional[Any] = None
+    #: wall-clock profiler report, name -> {calls, seconds} (None when off)
+    profile: Optional[Dict[str, Dict[str, float]]] = None
+    #: simulated clock frequency (for cycles -> seconds conversions)
+    clock_hz: float = 100e6
     extra: Dict[str, Any] = field(default_factory=dict)
 
     @property
     def total_lock_acquires(self) -> int:
         return sum(self.lock_acquires.values())
+
+    @property
+    def simulated_seconds(self) -> float:
+        """Execution time converted via the configured machine clock."""
+        return self.execution_time / self.clock_hz
 
     def summary(self) -> str:
         pct = self.breakdown.as_percentages()

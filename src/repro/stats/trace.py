@@ -8,13 +8,19 @@ with query helpers and text export.  Used by the analysis tools in
 Enable per run via ``SimConfig(trace=True)`` or pass a ``Trace`` to the
 runner; events carry the simulated timestamp, the node, a kind and a small
 payload dict.
+
+A bounded trace is a *ring buffer*: when ``capacity`` is set, the most
+recent ``capacity`` events are kept and the oldest are evicted, with
+evictions counted per event kind in ``dropped_by_kind``.  Keeping the tail
+rather than the head matters for long runs — the interesting window is
+usually the steady state or the end, not the cold-start prefix.
 """
 from __future__ import annotations
 
 import json
-from collections import Counter, defaultdict
+from collections import Counter, deque
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional
+from typing import Any, Dict, List, Optional
 
 #: canonical event kinds emitted by the protocols
 KINDS = (
@@ -40,13 +46,18 @@ class TraceEvent:
 
 
 class Trace:
-    """An in-memory event log with query helpers."""
+    """An in-memory event log (bounded ring buffer) with query helpers."""
 
     def __init__(self, capacity: Optional[int] = None) -> None:
-        self.events: List[TraceEvent] = []
+        self.events: "deque[TraceEvent]" = deque(maxlen=capacity)
         self.capacity = capacity
-        self.dropped = 0
+        self.dropped_by_kind: Counter = Counter()
         self.enabled = True
+
+    @property
+    def dropped(self) -> int:
+        """Total events evicted from the ring (all kinds)."""
+        return sum(self.dropped_by_kind.values())
 
     # ---- recording -------------------------------------------------------
 
@@ -54,10 +65,10 @@ class Trace:
                **detail: Any) -> None:
         if not self.enabled:
             return
-        if self.capacity is not None and len(self.events) >= self.capacity:
-            self.dropped += 1
-            return
-        self.events.append(TraceEvent(time, node, kind, detail))
+        events = self.events
+        if events.maxlen is not None and len(events) == events.maxlen:
+            self.dropped_by_kind[events[0].kind] += 1
+        events.append(TraceEvent(time, node, kind, detail))
 
     # ---- queries ------------------------------------------------------------
 
@@ -105,7 +116,9 @@ class Trace:
         lines = [f"trace: {len(self.events)} events"
                  + (f" ({self.dropped} dropped)" if self.dropped else "")]
         for kind, n in sorted(counts.items()):
-            lines.append(f"  {kind:<18} {n:>8}")
+            drop = self.dropped_by_kind.get(kind, 0)
+            note = f"  (+{drop} dropped)" if drop else ""
+            lines.append(f"  {kind:<18} {n:>8}{note}")
         return "\n".join(lines)
 
 

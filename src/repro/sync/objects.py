@@ -6,7 +6,7 @@ across nodes, barriers on node 0 — the standard TreadMarks-era assignment.
 """
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 

@@ -18,7 +18,7 @@ Example::
 """
 from __future__ import annotations
 
-from collections import Counter, defaultdict
+from collections import defaultdict
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np

@@ -3,7 +3,7 @@ import pytest
 
 from repro.core.aec.barrier_manager import (AECBarrierManager, ArrivalInfo,
                                             BarrierInstructions)
-from repro.core.aec.lock_manager import AECLockManager, GrantInfo
+from repro.core.aec.lock_manager import AECLockManager
 from repro.core.lap.predictor import LapPredictor
 
 

@@ -10,7 +10,6 @@ from repro.apps.raytrace import RaytraceApp
 from repro.apps.registry import APP_NAMES, SCALES, make_app
 from repro.apps.water_nsquared import WaterNsquaredApp
 from repro.apps.water_spatial import WaterSpatialApp
-from repro.config import MachineParams, SimConfig
 from repro.harness.runner import run_app
 
 PROTOS = ["sc", "aec", "aec-nolap", "tmk"]

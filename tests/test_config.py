@@ -1,9 +1,8 @@
 """Unit tests for the machine parameter / cost model (paper Table 1)."""
-import math
 
 import pytest
 
-from repro.config import MachineParams, SimConfig
+from repro.config import SimConfig
 
 
 class TestTable1Defaults:

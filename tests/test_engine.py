@@ -5,7 +5,7 @@ from repro.config import MachineParams, SimConfig
 from repro.engine.events import CATEGORIES, Delay, Resolve, Send, Wait
 from repro.engine.future import Future
 from repro.engine.simulator import SimulationError, Simulator
-from repro.network.message import HEADER_BYTES, Message
+from repro.network.message import Message
 
 
 def make_sim(num_procs=2, **cfg):
@@ -354,9 +354,6 @@ class TestDeterminism:
     def test_identical_runs_identical_results(self):
         def build():
             sim = make_sim(num_procs=4)
-            fut = Future("b")
-            count = []
-
             def prog(i):
                 yield Delay(10 * (i + 1), "busy")
                 yield Send((i + 1) % 4, Message("token", payload=i), "busy")

@@ -1,7 +1,6 @@
 """Tests for the protocol extensions: Munin (±LAP) and TreadMarks Lazy
 Hybrid — correctness on the application suite plus the behaviours that
 motivated them in the paper's Sections 1 and 6."""
-import numpy as np
 import pytest
 
 from repro.apps.registry import APP_NAMES, make_app
@@ -136,7 +135,7 @@ class TestAdsmBehaviour:
                     yield from ctx.release(app.locks[0])
                 yield from ctx.compute(2_000)
                 yield from ctx.acquire(app.locks[0])
-                v = yield from ctx.read1(seg, 0)
+                yield from ctx.read1(seg, 0)
                 yield from ctx.release(app.locks[0])
                 yield from ctx.barrier(app.bars[0])
             return True

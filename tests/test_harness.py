@@ -6,7 +6,7 @@ from repro.harness import experiments as ex
 from repro.harness import tables
 from repro.harness.cache import cache_size, cached_run, clear_cache
 from repro.harness.cli import build_parser, main
-from repro.harness.runner import PROTOCOLS, run_app
+from repro.harness.runner import run_app
 from repro.apps.registry import make_app
 from repro.stats.breakdown import Breakdown
 

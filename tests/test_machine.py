@@ -1,6 +1,4 @@
 """Unit tests for the node hardware model: cache, TLB, write buffer."""
-import numpy as np
-import pytest
 
 from repro.config import MachineParams
 from repro.machine.cache import DirectMappedCache

@@ -75,8 +75,10 @@ class TestTopologies:
             make_topology("torus", 16)
 
     def test_topology_changes_latency(self):
-        far = lambda topo: Network(dataclasses.replace(
-            MachineParams(num_procs=16), topology=topo)).deliver(0, 15, 256, 0.0)
+        def far(topo):
+            return Network(dataclasses.replace(
+                MachineParams(num_procs=16),
+                topology=topo)).deliver(0, 15, 256, 0.0)
         assert far("crossbar") < far("mesh")
 
     def test_bounds_checked(self):

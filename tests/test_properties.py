@@ -1,6 +1,5 @@
 """Property-based tests (hypothesis) on core data structures and protocols."""
 import numpy as np
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 

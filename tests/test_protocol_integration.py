@@ -4,7 +4,7 @@ and protocol-observable behaviour (faults, pushes, hidden work)."""
 import numpy as np
 import pytest
 
-from repro.apps.api import Application, AppContext
+from repro.apps.api import Application
 from repro.config import MachineParams, SimConfig
 from repro.harness.runner import run_app
 

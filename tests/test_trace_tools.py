@@ -6,7 +6,7 @@ import pytest
 
 from repro import SimConfig, run_app
 from repro.apps.registry import make_app
-from repro.stats.trace import NullTrace, Trace, TraceEvent
+from repro.stats.trace import NullTrace, Trace
 from repro.tools import (lock_report, message_matrix, render_matrix,
                          render_timeline)
 

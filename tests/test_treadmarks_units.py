@@ -1,5 +1,4 @@
 """Unit tests for TreadMarks bookkeeping: intervals, logs, vector clocks."""
-import pytest
 
 from repro.protocols.treadmarks.interval import IntervalLog, IntervalRecord
 
