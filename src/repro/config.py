@@ -6,8 +6,12 @@ All times are expressed in 10-ns processor cycles, exactly as in the paper.
 """
 from __future__ import annotations
 
+import dataclasses
+import hashlib
+import json
 import math
 from dataclasses import dataclass, field
+from typing import Any, Dict
 
 
 @dataclass(frozen=True)
@@ -165,6 +169,32 @@ class SimConfig:
             raise ValueError("update_set_size must be >= 1")
         if not (0.0 <= self.affinity_threshold <= 10.0):
             raise ValueError("affinity_threshold out of range")
+
+    def replace(self, **overrides: Any) -> "SimConfig":
+        """A copy of this config with ``overrides`` applied.
+
+        Always use this (never ``setattr``) to derive per-run variants:
+        configs are shared freely between runs, and in-place mutation leaks
+        one run's protocol overrides into the next.
+        """
+        return dataclasses.replace(self, **overrides)
+
+
+def canonical_config_dict(config: SimConfig) -> Dict[str, Any]:
+    """A JSON-safe dict of every resolved field, machine parameters included.
+
+    This is the authoritative identity of a run configuration: two configs
+    produce the same dict iff every knob that can influence a simulation is
+    equal.  Used for cache keys — never drop fields from it.
+    """
+    return dataclasses.asdict(config)
+
+
+def config_digest(config: SimConfig) -> str:
+    """Canonical SHA-256 hex digest of the *full* resolved configuration."""
+    payload = json.dumps(canonical_config_dict(config), sort_keys=True,
+                         separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
 DEFAULT_MACHINE = MachineParams()

@@ -1,5 +1,9 @@
 """Experiment harness: run (application, protocol) pairs, render the paper's
- tables and figures."""
-from repro.harness.runner import run_app, PROTOCOLS
+ tables and figures, and sweep whole experiment grids in parallel."""
+from repro.harness.runner import PROTOCOLS, resolve_config, run_app
+from repro.harness.sweep import (DiskCache, RunSpec, SweepReport, get_result,
+                                 make_spec, run_sweep, set_cache_dir)
 
-__all__ = ["run_app", "PROTOCOLS"]
+__all__ = ["run_app", "resolve_config", "PROTOCOLS",
+           "RunSpec", "make_spec", "get_result", "run_sweep",
+           "SweepReport", "DiskCache", "set_cache_dir"]

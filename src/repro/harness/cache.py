@@ -1,39 +1,37 @@
-"""In-process memoization of simulation runs.
+"""Memoization of simulation runs, backed by the sweep layer.
 
 Several experiments share runs (e.g. Table 3, Table 4 and Figures 4/6 all
-need `app X under AEC`), and the pytest-benchmark harness executes every
-table/figure in one process — caching keeps the full paper reproduction to
-one simulation per (app, scale, protocol, config) combination.
+need `app X under AEC`), so the full paper reproduction costs one
+simulation per distinct cell.  Keys are the canonical full-config hash of
+:class:`repro.harness.sweep.RunSpec` — every ``SimConfig`` field, the
+protocol's resolved overrides, the seed *and* the ``check`` flag — so two
+calls share a result only when literally every run input matches.  (The
+pre-sweep memo keyed on ``(app, scale, protocol, update_set_size, seed)``
+alone, which served ``check=False`` results to ``check=True`` callers and
+conflated distinct configs.)
+
+When a disk cache is attached (``sweep.set_cache_dir`` or
+``repro sweep --cache-dir``), lookups read and write through it as well.
 """
 from __future__ import annotations
 
-from typing import Dict, Tuple
-
-from repro.apps.registry import make_app
-from repro.config import SimConfig
-from repro.harness.runner import run_app
+from repro.harness.sweep import (clear_memory, get_result, make_spec,
+                                 memory_size)
 from repro.stats.run_result import RunResult
-
-_CACHE: Dict[Tuple, RunResult] = {}
 
 
 def cached_run(app_name: str, scale: str, protocol: str,
                update_set_size: int = 2,
                seed: int = 42,
                check: bool = True) -> RunResult:
-    key = (app_name, scale, protocol, update_set_size, seed)
-    result = _CACHE.get(key)
-    if result is None:
-        config = SimConfig(update_set_size=update_set_size, seed=seed)
-        result = run_app(make_app(app_name, scale), protocol,
-                         config=config, check=check)
-        _CACHE[key] = result
-    return result
+    spec = make_spec(app_name, scale, protocol,
+                     update_set_size=update_set_size, seed=seed, check=check)
+    return get_result(spec)
 
 
 def clear_cache() -> None:
-    _CACHE.clear()
+    clear_memory()
 
 
 def cache_size() -> int:
-    return len(_CACHE)
+    return memory_size()

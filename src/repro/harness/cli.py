@@ -9,6 +9,9 @@ Examples::
     repro metrics --app is --protocol aec --scale test
     repro experiment table3 --scale test
     repro experiment all --scale bench
+    repro sweep --scale test --jobs 4 --cache-dir .repro-cache
+    repro cache inspect --cache-dir .repro-cache
+    repro cache clear --cache-dir .repro-cache
 """
 from __future__ import annotations
 
@@ -19,6 +22,7 @@ from typing import List, Optional
 from repro.apps.registry import APP_NAMES, SCALES, make_app
 from repro.config import SimConfig
 from repro.harness import experiments as ex
+from repro.harness import sweep as sw
 from repro.harness import tables
 from repro.harness.runner import PROTOCOLS, run_app
 
@@ -151,9 +155,64 @@ def _cmd_analyze(args) -> int:
     return 0
 
 
+def _cmd_sweep(args) -> int:
+    names = args.experiments or list(ex.EXPERIMENT_CELLS)
+    try:
+        specs = ex.experiment_cells(names, args.scale)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    def _to_stderr(msg):
+        print(msg, file=sys.stderr)
+    report = sw.run_sweep(specs, jobs=args.jobs, cache_dir=args.cache_dir,
+                          progress=_to_stderr if args.verbose else None)
+    print(report.summary())
+    for label, error in report.failures:
+        print(f"  FAILED {label}: {error}", file=sys.stderr)
+    return 1 if report.failures else 0
+
+
+def _cmd_cache(args) -> int:
+    cache = sw.DiskCache(args.cache_dir)
+    if args.action == "clear":
+        print(f"removed {cache.clear()} cached cells from {cache.root}")
+        return 0
+    entries = cache.entries()
+    if not entries:
+        print(f"cache at {cache.root} is empty")
+        return 0
+    print(f"cache at {cache.root}: {len(entries)} cells")
+    hdr = (f"{'key':<12} {'app':<10} {'scale':<6} {'protocol':<9} "
+           f"{'procs':>5} {'seed':>5} {'|U|':>3} {'chk':>3} "
+           f"{'Mcycles':>10} {'KiB':>8}")
+    print(hdr)
+    print("-" * len(hdr))
+    for doc in entries:
+        spec = doc.get("spec", {})
+        config = spec.get("config", {})
+        machine = config.get("machine", {})
+        result = doc.get("result", {})
+        mcy = result.get("execution_time", 0.0) / 1e6
+        kib = doc.get("payload_bytes", 0) / 1024.0
+        print(f"{doc['key'][:12]:<12} {spec.get('app', '?'):<10} "
+              f"{spec.get('scale', '?'):<6} {spec.get('protocol', '?'):<9} "
+              f"{machine.get('num_procs', '?'):>5} "
+              f"{config.get('seed', '?'):>5} "
+              f"{config.get('update_set_size', '?'):>3} "
+              f"{'y' if spec.get('check') else 'n':>3} "
+              f"{mcy:>10.2f} {kib:>8.1f}")
+    return 0
+
+
 def _cmd_experiment(args) -> int:
     names = EXPERIMENTS[:-1] if args.name == "all" else (args.name,)
     scale = args.scale
+    if args.cache_dir:
+        sw.set_cache_dir(args.cache_dir)
+    if args.jobs > 1:
+        # pre-warm the cache in parallel; rendering below then only reads
+        cell_names = [n for n in names if n in ex.EXPERIMENT_CELLS]
+        sw.run_sweep(ex.experiment_cells(cell_names, scale), jobs=args.jobs)
     for name in names:
         if name == "table1":
             print(tables.render_table1())
@@ -260,7 +319,31 @@ def build_parser() -> argparse.ArgumentParser:
     exp = sub.add_parser("experiment", help="reproduce a table or figure")
     exp.add_argument("name", choices=EXPERIMENTS)
     exp.add_argument("--scale", choices=SCALES, default="test")
+    exp.add_argument("--jobs", type=int, default=1, metavar="N",
+                     help="pre-run the experiment's cells on N processes")
+    exp.add_argument("--cache-dir", metavar="DIR",
+                     help="read/write run results through this disk cache")
     exp.set_defaults(fn=_cmd_experiment)
+
+    swp = sub.add_parser(
+        "sweep",
+        help="run experiment cells in parallel through the disk cache")
+    swp.add_argument("experiments", nargs="*", metavar="EXPERIMENT",
+                     help="experiments to expand (default: all of "
+                          f"{', '.join(ex.EXPERIMENT_CELLS)})")
+    swp.add_argument("--scale", choices=SCALES, default="test")
+    swp.add_argument("--jobs", type=int, default=1, metavar="N",
+                     help="worker processes (1 = run misses inline)")
+    swp.add_argument("--cache-dir", metavar="DIR",
+                     help="persist results to this content-addressed cache")
+    swp.add_argument("--verbose", "-v", action="store_true",
+                     help="print per-cell progress to stderr")
+    swp.set_defaults(fn=_cmd_sweep)
+
+    cch = sub.add_parser("cache", help="inspect or clear a sweep disk cache")
+    cch.add_argument("action", choices=("inspect", "clear"))
+    cch.add_argument("--cache-dir", required=True, metavar="DIR")
+    cch.set_defaults(fn=_cmd_cache)
     return p
 
 

@@ -1,17 +1,28 @@
 """Experiment definitions: one function per paper table/figure.
 
-Every function returns plain data rows; :mod:`repro.harness.tables` renders
-them in the paper's format.  See DESIGN.md's experiment index and
-EXPERIMENTS.md for paper-vs-measured discussion.
+Every experiment is split in two layers:
+
+* a ``*_cells(scale)`` declaration returning the immutable
+  :class:`~repro.harness.sweep.RunSpec` cells it needs — the unit the
+  parallel sweep fans out over (``repro sweep``, :func:`experiment_cells`);
+* a row builder (``table2`` etc.) that fetches each cell through
+  :func:`~repro.harness.sweep.get_result` — memo, then disk cache, then an
+  actual run — and shapes the paper's rows.
+
+Because both layers enumerate the *same* specs, pre-warming the cache with
+a sweep makes every table/figure/ablation render without executing a
+single simulation.  See DESIGN.md's experiment index and EXPERIMENTS.md
+for paper-vs-measured discussion.
 """
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.apps.registry import APP_NAMES
+from repro.config import MachineParams, SimConfig
 from repro.core.lap.stats import VARIANTS
-from repro.harness.cache import cached_run
+from repro.harness.sweep import RunSpec, get_result, make_spec
 from repro.stats.breakdown import Breakdown
 
 #: the paper's lock-intensive applications (Figures 3/4 and 6)
@@ -30,12 +41,16 @@ class Table2Row:
     barriers: int
 
 
+def table2_cells(scale: str = "bench") -> List[RunSpec]:
+    return [make_spec(app, scale, "aec") for app in APP_NAMES]
+
+
 def table2(scale: str = "bench") -> List[Table2Row]:
     """Synchronization events per application (paper Table 2)."""
     rows = []
-    for app in APP_NAMES:
-        r = cached_run(app, scale, "aec")
-        rows.append(Table2Row(app, len(r.extra["lock_vars"]),
+    for spec in table2_cells(scale):
+        r = get_result(spec)
+        rows.append(Table2Row(spec.app, len(r.extra["lock_vars"]),
                               r.total_lock_acquires, r.barrier_events))
     return rows
 
@@ -58,14 +73,20 @@ def _lock_groups(result) -> Dict[str, List[int]]:
     return groups
 
 
+def table3_cells(scale: str = "bench", protocol: str = "aec",
+                 update_set_size: int = 2) -> List[RunSpec]:
+    return [make_spec(app, scale, protocol,
+                      update_set_size=update_set_size)
+            for app in APP_NAMES]
+
+
 def table3(scale: str = "bench", protocol: str = "aec",
            update_set_size: int = 2,
            min_events_pct: float = 1.0) -> List[Table3Row]:
     """LAP success rates per lock-variable group (paper Table 3, |U|=2)."""
     rows: List[Table3Row] = []
-    for app in APP_NAMES:
-        r = cached_run(app, scale, protocol,
-                       update_set_size=update_set_size)
+    for spec in table3_cells(scale, protocol, update_set_size):
+        r = get_result(spec)
         if r.lap_stats is None:
             continue
         total = max(r.lap_stats.total_acquires(), 1)
@@ -75,7 +96,7 @@ def table3(scale: str = "bench", protocol: str = "aec",
             pct = 100.0 * events / total
             if events == 0 or pct < min_events_pct:
                 continue
-            rows.append(Table3Row(app, group, events, pct,
+            rows.append(Table3Row(spec.app, group, events, pct,
                                   {v: g[v] for v in VARIANTS}))
     return rows
 
@@ -93,14 +114,18 @@ class Table4Row:
     hidden_apply_pct: float
 
 
+def table4_cells(scale: str = "bench") -> List[RunSpec]:
+    return [make_spec(app, scale, "aec") for app in APP_NAMES]
+
+
 def table4(scale: str = "bench") -> List[Table4Row]:
     """Diff statistics under AEC (paper Table 4)."""
     rows = []
-    for app in APP_NAMES:
-        r = cached_run(app, scale, "aec")
+    for spec in table4_cells(scale):
+        r = get_result(spec)
         d = r.diff_stats
         rows.append(Table4Row(
-            app,
+            spec.app,
             d.avg_diff_bytes,
             d.avg_merged_bytes,
             100.0 * d.merged_fraction,
@@ -131,49 +156,65 @@ class CompareRow:
             else 0.0
 
 
+def _compare_cells(apps, scale: str, base_protocol: str,
+                   other_protocol: str) -> List[Tuple[RunSpec, RunSpec]]:
+    return [(make_spec(app, scale, base_protocol),
+             make_spec(app, scale, other_protocol)) for app in apps]
+
+
+def _compare_rows(pairs, base_label: str, other_label: str,
+                  value) -> List[CompareRow]:
+    rows = []
+    for base_spec, other_spec in pairs:
+        base, other = get_result(base_spec), get_result(other_spec)
+        rows.append(CompareRow(
+            base_spec.app, base_label, other_label,
+            value(base), value(other),
+            base.breakdown, other.breakdown))
+    return rows
+
+
+def figure3_cells(scale: str = "bench") -> List[RunSpec]:
+    return [s for pair in _compare_cells(LOCK_APPS, scale, "aec-nolap",
+                                         "aec") for s in pair]
+
+
 def figure3(scale: str = "bench") -> List[CompareRow]:
     """Access-fault overhead: AEC-without-LAP (=100) vs AEC (Figure 3)."""
-    rows = []
-    for app in LOCK_APPS:
-        nolap = cached_run(app, scale, "aec-nolap")
-        lap = cached_run(app, scale, "aec")
-        rows.append(CompareRow(
-            app, "noLAP", "LAP",
-            nolap.breakdown["data"], lap.breakdown["data"],
-            nolap.breakdown, lap.breakdown))
-    return rows
+    return _compare_rows(_compare_cells(LOCK_APPS, scale, "aec-nolap", "aec"),
+                         "noLAP", "LAP", lambda r: r.breakdown["data"])
+
+
+def figure4_cells(scale: str = "bench") -> List[RunSpec]:
+    return figure3_cells(scale)
 
 
 def figure4(scale: str = "bench") -> List[CompareRow]:
     """Execution time: AEC-without-LAP (=100) vs AEC (Figure 4)."""
-    rows = []
-    for app in LOCK_APPS:
-        nolap = cached_run(app, scale, "aec-nolap")
-        lap = cached_run(app, scale, "aec")
-        rows.append(CompareRow(
-            app, "noLAP", "LAP",
-            nolap.execution_time, lap.execution_time,
-            nolap.breakdown, lap.breakdown))
-    return rows
+    return _compare_rows(_compare_cells(LOCK_APPS, scale, "aec-nolap", "aec"),
+                         "noLAP", "LAP", lambda r: r.execution_time)
 
 
 # ------------------------------------------------------------- Figures 5/6
 
 def _tm_vs_aec(apps, scale: str) -> List[CompareRow]:
-    rows = []
-    for app in apps:
-        tm = cached_run(app, scale, "tmk")
-        aec = cached_run(app, scale, "aec")
-        rows.append(CompareRow(
-            app, "TM", "AEC",
-            tm.execution_time, aec.execution_time,
-            tm.breakdown, aec.breakdown))
-    return rows
+    return _compare_rows(_compare_cells(apps, scale, "tmk", "aec"),
+                         "TM", "AEC", lambda r: r.execution_time)
+
+
+def figure5_cells(scale: str = "bench") -> List[RunSpec]:
+    return [s for pair in _compare_cells(BARRIER_APPS, scale, "tmk", "aec")
+            for s in pair]
 
 
 def figure5(scale: str = "bench") -> List[CompareRow]:
     """Execution time: TreadMarks (=100) vs AEC, barrier apps (Figure 5)."""
     return _tm_vs_aec(BARRIER_APPS, scale)
+
+
+def figure6_cells(scale: str = "bench") -> List[RunSpec]:
+    return [s for pair in _compare_cells(LOCK_APPS, scale, "tmk", "aec")
+            for s in pair]
 
 
 def figure6(scale: str = "bench") -> List[CompareRow]:
@@ -191,20 +232,28 @@ class UpdateSetRow:
     execution_time: float
 
 
+def ablation_update_set_cells(scale: str = "bench",
+                              sizes: Tuple[int, ...] = (1, 2, 3),
+                              apps: Tuple[str, ...] = LOCK_APPS
+                              ) -> List[RunSpec]:
+    return [make_spec(app, scale, "aec", update_set_size=size)
+            for app in apps for size in sizes]
+
+
 def ablation_update_set_size(scale: str = "bench",
                              sizes: Tuple[int, ...] = (1, 2, 3),
                              apps: Tuple[str, ...] = LOCK_APPS
                              ) -> List[UpdateSetRow]:
     """|U| sweep (Section 5.1: '|U|=2 seems to be the best size')."""
     rows = []
-    for app in apps:
-        for size in sizes:
-            r = cached_run(app, scale, "aec", update_set_size=size)
-            rate = None
-            if r.lap_stats is not None:
-                all_locks = [lv[0] for lv in r.extra["lock_vars"]]
-                rate = r.lap_stats.group_rates(all_locks)["lap"]
-            rows.append(UpdateSetRow(app, size, rate, r.execution_time))
+    for spec in ablation_update_set_cells(scale, sizes, apps):
+        r = get_result(spec)
+        rate = None
+        if r.lap_stats is not None:
+            all_locks = [lv[0] for lv in r.extra["lock_vars"]]
+            rate = r.lap_stats.group_rates(all_locks)["lap"]
+        rows.append(UpdateSetRow(spec.app, spec.config.update_set_size,
+                                 rate, r.execution_time))
     return rows
 
 
@@ -215,6 +264,16 @@ class TrafficRow:
     messages: int
     kbytes: float
     execution_time: float
+
+
+def ablation_traffic_cells(scale: str = "bench",
+                           apps: Tuple[str, ...] = ("is", "raytrace",
+                                                    "water-sp"),
+                           protocols: Tuple[str, ...] = (
+                               "munin", "munin-lap", "tmk", "tmk-lh",
+                               "adsm", "aec")) -> List[RunSpec]:
+    return [make_spec(app, scale, protocol)
+            for app in apps for protocol in protocols]
 
 
 def ablation_update_traffic(scale: str = "bench",
@@ -233,12 +292,11 @@ def ablation_update_traffic(scale: str = "bench",
     variant of the related work).
     """
     rows = []
-    for app in apps:
-        for protocol in protocols:
-            r = cached_run(app, scale, protocol)
-            rows.append(TrafficRow(app, protocol, r.messages_total,
-                                   r.network_bytes / 1024.0,
-                                   r.execution_time))
+    for spec in ablation_traffic_cells(scale, apps, protocols):
+        r = get_result(spec)
+        rows.append(TrafficRow(spec.app, spec.protocol, r.messages_total,
+                               r.network_bytes / 1024.0,
+                               r.execution_time))
     return rows
 
 
@@ -250,23 +308,28 @@ class ScalingRow:
     execution_time: float
 
 
+def ablation_scalability_cells(scale: str = "test",
+                               apps: Tuple[str, ...] = ("is", "water-sp"),
+                               procs: Tuple[int, ...] = (4, 8, 16),
+                               protocols: Tuple[str, ...] = ("tmk", "aec")
+                               ) -> List[RunSpec]:
+    return [make_spec(app, scale, protocol,
+                      config=SimConfig(machine=MachineParams(num_procs=p)))
+            for app in apps for protocol in protocols for p in procs]
+
+
 def ablation_scalability(scale: str = "test",
                          apps: Tuple[str, ...] = ("is", "water-sp"),
                          procs: Tuple[int, ...] = (4, 8, 16),
                          protocols: Tuple[str, ...] = ("tmk", "aec")
                          ) -> List[ScalingRow]:
     """Protocol behaviour as the machine grows (the paper fixes 16)."""
-    from repro.apps.registry import make_app
-    from repro.config import MachineParams, SimConfig
-    from repro.harness.runner import run_app
-
     rows = []
-    for app in apps:
-        for protocol in protocols:
-            for p in procs:
-                cfg = SimConfig(machine=MachineParams(num_procs=p))
-                r = run_app(make_app(app, scale), protocol, config=cfg)
-                rows.append(ScalingRow(app, protocol, p, r.execution_time))
+    for spec in ablation_scalability_cells(scale, apps, procs, protocols):
+        r = get_result(spec)
+        rows.append(ScalingRow(spec.app, spec.protocol,
+                               spec.config.machine.num_procs,
+                               r.execution_time))
     return rows
 
 
@@ -276,6 +339,18 @@ class SensitivityRow:
     protocol: str
     messaging_overhead: int
     execution_time: float
+
+
+def ablation_sensitivity_cells(scale: str = "test",
+                               apps: Tuple[str, ...] = ("is", "water-sp"),
+                               overheads: Tuple[int, ...] = (100, 400, 1600),
+                               protocols: Tuple[str, ...] = ("tmk", "aec")
+                               ) -> List[RunSpec]:
+    return [make_spec(app, scale, protocol,
+                      config=SimConfig(machine=MachineParams(
+                          messaging_overhead_cycles=overhead)))
+            for app in apps for protocol in protocols
+            for overhead in overheads]
 
 
 def ablation_network_sensitivity(scale: str = "test",
@@ -288,22 +363,14 @@ def ablation_network_sensitivity(scale: str = "test",
     constant): AEC's win comes from removing messages/round trips from the
     critical path, so the gap should widen with costlier messaging and
     narrow as the interconnect gets cheap."""
-    import dataclasses
-
-    from repro.apps.registry import make_app
-    from repro.config import MachineParams, SimConfig
-    from repro.harness.runner import run_app
-
     rows = []
-    for app in apps:
-        for protocol in protocols:
-            for overhead in overheads:
-                machine = dataclasses.replace(
-                    MachineParams(), messaging_overhead_cycles=overhead)
-                cfg = SimConfig(machine=machine)
-                r = run_app(make_app(app, scale), protocol, config=cfg)
-                rows.append(SensitivityRow(app, protocol, overhead,
-                                           r.execution_time))
+    for spec in ablation_sensitivity_cells(scale, apps, overheads,
+                                           protocols):
+        r = get_result(spec)
+        rows.append(SensitivityRow(
+            spec.app, spec.protocol,
+            spec.config.machine.messaging_overhead_cycles,
+            r.execution_time))
     return rows
 
 
@@ -314,19 +381,67 @@ class RobustnessRow:
     rates: Dict[str, Optional[float]]
 
 
+def ablation_robustness_cells(scale: str = "bench",
+                              apps: Tuple[str, ...] = LOCK_APPS
+                              ) -> List[RunSpec]:
+    return [make_spec(app, scale, protocol)
+            for app in apps for protocol in ("aec", "tmk")]
+
+
 def ablation_lap_robustness(scale: str = "bench",
                             apps: Tuple[str, ...] = LOCK_APPS
                             ) -> List[RobustnessRow]:
     """LAP success under AEC vs under TreadMarks (Section 5.1: rates vary
     by less than ~10% between DSMs for lock-intensive applications)."""
     rows = []
-    for app in apps:
-        for protocol in ("aec", "tmk"):
-            r = cached_run(app, scale, protocol)
-            if r.lap_stats is None:
-                continue
-            all_locks = [lv[0] for lv in r.extra["lock_vars"]]
-            g = r.lap_stats.group_rates(all_locks)
-            g.pop("events", None)
-            rows.append(RobustnessRow(app, protocol, g))
+    for spec in ablation_robustness_cells(scale, apps):
+        r = get_result(spec)
+        if r.lap_stats is None:
+            continue
+        all_locks = [lv[0] for lv in r.extra["lock_vars"]]
+        g = r.lap_stats.group_rates(all_locks)
+        g.pop("events", None)
+        rows.append(RobustnessRow(spec.app, spec.protocol, g))
     return rows
+
+
+# ------------------------------------------------------- cell declarations
+
+#: experiment name -> cells declaration, the fan-out unit of ``repro sweep``
+EXPERIMENT_CELLS: Dict[str, Callable[[str], List[RunSpec]]] = {
+    "table2": table2_cells,
+    "table3": table3_cells,
+    "table4": table4_cells,
+    "fig3": figure3_cells,
+    "fig4": figure4_cells,
+    "fig5": figure5_cells,
+    "fig6": figure6_cells,
+    "ablation-upset": ablation_update_set_cells,
+    "ablation-traffic": ablation_traffic_cells,
+    "ablation-scalability": ablation_scalability_cells,
+    "ablation-sensitivity": ablation_sensitivity_cells,
+    "ablation-robustness": ablation_robustness_cells,
+}
+
+
+def experiment_cells(names, scale: str = "bench") -> List[RunSpec]:
+    """Every cell the named experiments need, deduplicated in order.
+
+    Dedup matters: the tables and figures overlap heavily (`app under AEC`
+    appears in Table 2/3/4 and Figures 3-6), and the sweep should simulate
+    each distinct cell exactly once.
+    """
+    specs: List[RunSpec] = []
+    seen = set()
+    for name in names:
+        try:
+            cells = EXPERIMENT_CELLS[name]
+        except KeyError:
+            raise ValueError(
+                f"unknown experiment {name!r}; choose from "
+                f"{sorted(EXPERIMENT_CELLS)}") from None
+        for spec in cells(scale):
+            if spec.key not in seen:
+                seen.add(spec.key)
+                specs.append(spec)
+    return specs

@@ -53,17 +53,29 @@ def _driver(program, results: List[Any], index: int):
     results[index] = yield from program
 
 
+def resolve_config(protocol: str,
+                   config: Optional[SimConfig] = None) -> SimConfig:
+    """The effective config for running under ``protocol``: the caller's
+    config (or defaults) with the protocol's overrides applied to a *copy*.
+
+    The caller's object is never mutated — protocol overrides must not leak
+    into later runs that share the same ``SimConfig`` instance.  Idempotent:
+    resolving an already-resolved config is a no-op copy.
+    """
+    if protocol not in PROTOCOLS:
+        raise ValueError(
+            f"unknown protocol {protocol!r}; choose from {sorted(PROTOCOLS)}")
+    _factory, overrides = PROTOCOLS[protocol]
+    config = config if config is not None else SimConfig()
+    return config.replace(**overrides)
+
+
 def run_app(app: Application, protocol: str = "aec",
             config: Optional[SimConfig] = None,
             check: bool = True) -> RunResult:
     """Simulate ``app`` under ``protocol``; returns the collected RunResult."""
-    if protocol not in PROTOCOLS:
-        raise ValueError(
-            f"unknown protocol {protocol!r}; choose from {sorted(PROTOCOLS)}")
-    factory, overrides = PROTOCOLS[protocol]
-    config = config or SimConfig()
-    for key, value in overrides.items():
-        setattr(config, key, value)
+    config = resolve_config(protocol, config)
+    factory, _overrides = PROTOCOLS[protocol]
 
     machine = config.machine
     layout = Layout(machine.words_per_page)

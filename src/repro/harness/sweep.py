@@ -1,0 +1,412 @@
+"""Parallel, disk-cached experiment runner.
+
+The paper reproduction is a sweep over ``(app, scale, protocol, config)``
+cells.  This module gives every cell an immutable identity — a
+:class:`RunSpec` whose key is a canonical SHA-256 hash of the *full*
+resolved configuration (machine parameters, protocol overrides, seed,
+``check`` flag) — and executes sets of cells through a three-level store:
+
+1. an in-process memo (``dict`` keyed by spec key),
+2. an optional on-disk content-addressed cache (pickle payload + JSON
+   metadata sidecar, see :class:`DiskCache`),
+3. actual simulation, either inline or fanned out across a
+   ``multiprocessing`` pool.
+
+Keying by the full config fixes, by construction, the historical
+under-keyed memo (which dropped ``check`` and every config field other
+than ``update_set_size``/``seed``); resolving protocol overrides onto a
+*copy* of the caller's config (``runner.resolve_config``) makes cells
+independent of execution order, so the parallel path is result-identical
+to the serial one.  Determinism comes from the seed frozen into each
+cell's config — workers never share mutable state.
+"""
+from __future__ import annotations
+
+import hashlib
+import json
+import multiprocessing
+import os
+import pickle
+import tempfile
+import time
+from dataclasses import dataclass, field
+from functools import cached_property
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.apps.registry import make_app
+from repro.config import SimConfig, canonical_config_dict
+from repro.harness.runner import resolve_config, run_app
+from repro.stats.run_result import RunResult
+
+#: bump when the RunResult layout or key composition changes incompatibly;
+#: part of every cache key, so old entries miss instead of deserializing
+#: into garbage.
+CACHE_FORMAT_VERSION = 1
+
+
+# --------------------------------------------------------------- RunSpec
+
+@dataclass(frozen=True, eq=False)
+class RunSpec:
+    """One immutable experiment cell.
+
+    ``config`` is the *resolved* configuration snapshot (protocol overrides
+    already applied); build specs through :func:`make_spec`, which resolves
+    and copies, rather than constructing directly.
+    """
+
+    app: str
+    scale: str
+    protocol: str
+    config: SimConfig
+    check: bool = True
+
+    def canonical(self) -> Dict[str, object]:
+        """JSON-safe identity of the cell; the key hashes exactly this."""
+        return {
+            "version": CACHE_FORMAT_VERSION,
+            "app": self.app,
+            "scale": self.scale,
+            "protocol": self.protocol,
+            "check": self.check,
+            "config": canonical_config_dict(self.config),
+        }
+
+    @cached_property
+    def key(self) -> str:
+        payload = json.dumps(self.canonical(), sort_keys=True,
+                             separators=(",", ":"))
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+    @property
+    def label(self) -> str:
+        return f"{self.app}/{self.scale}/{self.protocol}"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, RunSpec) and self.key == other.key
+
+    def __hash__(self) -> int:
+        return hash(self.key)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RunSpec({self.label}, key={self.key[:12]})"
+
+
+def make_spec(app: str, scale: str, protocol: str, *,
+              config: Optional[SimConfig] = None,
+              update_set_size: int = 2, seed: int = 42,
+              check: bool = True, **config_overrides) -> RunSpec:
+    """Build a :class:`RunSpec` with a frozen, fully resolved config.
+
+    Either pass a prepared ``config`` (it is copied, never kept by
+    reference) or let one be built from ``update_set_size``/``seed`` and
+    any extra ``SimConfig`` field overrides.
+    """
+    if config is None:
+        config = SimConfig(update_set_size=update_set_size, seed=seed,
+                           **config_overrides)
+    elif config_overrides:
+        config = config.replace(**config_overrides)
+    return RunSpec(app, scale, protocol, resolve_config(protocol, config),
+                   check)
+
+
+def execute_spec(spec: RunSpec) -> RunResult:
+    """Run one cell from scratch and return a cache/transport-safe result."""
+    result = run_app(make_app(spec.app, spec.scale), spec.protocol,
+                     config=spec.config, check=spec.check)
+    return result.sanitized()
+
+
+# ------------------------------------------------------------- DiskCache
+
+class DiskCache:
+    """Content-addressed on-disk memo of :class:`RunResult` payloads.
+
+    Layout, under ``root``::
+
+        <key[:2]>/<key>.pkl    pickled sanitized RunResult
+        <key[:2]>/<key>.json   metadata sidecar: the spec's canonical dict
+                               plus a small result summary (inspectable
+                               without unpickling)
+
+    Writes are atomic (temp file + ``os.replace``) so concurrent sweep
+    workers never expose a torn entry; corrupt or stale entries deserialize
+    to ``None`` and the cell is transparently re-run.
+    """
+
+    def __init__(self, root: str) -> None:
+        self.root = os.path.abspath(root)
+        os.makedirs(self.root, exist_ok=True)
+
+    def _paths(self, key: str) -> Tuple[str, str]:
+        shard = os.path.join(self.root, key[:2])
+        return (os.path.join(shard, key + ".pkl"),
+                os.path.join(shard, key + ".json"))
+
+    def load(self, key: str) -> Optional[RunResult]:
+        pkl, _meta = self._paths(key)
+        try:
+            with open(pkl, "rb") as fh:
+                result = pickle.load(fh)
+        except FileNotFoundError:
+            return None
+        except (pickle.UnpicklingError, EOFError, AttributeError,
+                ImportError, IndexError, OSError, ValueError):
+            # corrupt / truncated / written by an incompatible version:
+            # drop it and let the caller re-run the cell
+            self._evict(key)
+            return None
+        if not isinstance(result, RunResult):
+            self._evict(key)
+            return None
+        return result
+
+    def store(self, spec: RunSpec, result: RunResult) -> None:
+        pkl, meta = self._paths(spec.key)
+        os.makedirs(os.path.dirname(pkl), exist_ok=True)
+        payload = result.sanitized()
+        self._write_atomic(pkl, pickle.dumps(
+            payload, protocol=pickle.HIGHEST_PROTOCOL))
+        doc = {"spec": spec.canonical(), "result": payload.meta()}
+        self._write_atomic(meta, json.dumps(
+            doc, indent=2, sort_keys=True).encode("utf-8"))
+
+    def _write_atomic(self, path: str, data: bytes) -> None:
+        fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path),
+                                   prefix=".tmp-", suffix="~")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                fh.write(data)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def _evict(self, key: str) -> None:
+        for path in self._paths(key):
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+
+    # ---- inspection -----------------------------------------------------
+
+    def keys(self) -> List[str]:
+        out = []
+        for shard in sorted(os.listdir(self.root)):
+            sdir = os.path.join(self.root, shard)
+            if not os.path.isdir(sdir):
+                continue
+            for name in sorted(os.listdir(sdir)):
+                if name.endswith(".pkl"):
+                    out.append(name[:-len(".pkl")])
+        return out
+
+    def entries(self) -> List[Dict[str, object]]:
+        """Metadata sidecars of every entry (key, spec, result summary)."""
+        out = []
+        for key in self.keys():
+            pkl, meta = self._paths(key)
+            doc: Dict[str, object] = {"key": key}
+            try:
+                with open(meta, "r", encoding="utf-8") as fh:
+                    doc.update(json.load(fh))
+            except (OSError, ValueError):
+                doc["error"] = "missing or unreadable metadata sidecar"
+            try:
+                doc["payload_bytes"] = os.path.getsize(pkl)
+            except OSError:
+                pass
+            out.append(doc)
+        return out
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number of cells removed."""
+        keys = self.keys()
+        for key in keys:
+            self._evict(key)
+        return len(keys)
+
+
+# -------------------------------------------------------- the run store
+
+#: in-process memo, spec key -> sanitized RunResult
+_MEMORY: Dict[str, RunResult] = {}
+#: optional process-wide disk layer (attached via set_cache_dir / sweeps)
+_DISK: Optional[DiskCache] = None
+
+
+def set_cache_dir(path: Optional[str]) -> Optional[DiskCache]:
+    """Attach (or detach, with ``None``) the process-wide disk cache.
+
+    Once attached, every :func:`get_result` call — including the ones made
+    implicitly by the experiment/table builders — reads through and writes
+    through the disk layer.
+    """
+    global _DISK
+    _DISK = DiskCache(path) if path is not None else None
+    return _DISK
+
+
+def clear_memory() -> None:
+    _MEMORY.clear()
+
+
+def memory_size() -> int:
+    return len(_MEMORY)
+
+
+def get_result(spec: RunSpec) -> RunResult:
+    """The result for ``spec``: memo -> disk -> run (filling both caches)."""
+    result = _MEMORY.get(spec.key)
+    if result is not None:
+        return result
+    if _DISK is not None:
+        result = _DISK.load(spec.key)
+        if result is not None:
+            _MEMORY[spec.key] = result
+            return result
+    result = execute_spec(spec)
+    _MEMORY[spec.key] = result
+    if _DISK is not None:
+        _DISK.store(spec, result)
+    return result
+
+
+# ------------------------------------------------------------ the sweep
+
+@dataclass
+class SweepReport:
+    """Outcome of one :func:`run_sweep` call."""
+
+    specs: List[RunSpec]
+    results: Dict[str, RunResult]  # spec key -> result
+    hits_memory: int = 0
+    hits_disk: int = 0
+    executed: int = 0
+    wall_seconds: float = 0.0
+    jobs: int = 1
+    duplicates: int = 0  # cells requested more than once, folded away
+    failures: List[Tuple[str, str]] = field(default_factory=list)
+
+    @property
+    def total(self) -> int:
+        return len(self.specs)
+
+    def result_for(self, spec: RunSpec) -> RunResult:
+        return self.results[spec.key]
+
+    def summary(self) -> str:
+        parts = [f"{self.total} cells", f"{self.executed} executed",
+                 f"{self.hits_disk} disk hits",
+                 f"{self.hits_memory} memo hits",
+                 f"jobs={self.jobs}", f"{self.wall_seconds:.1f}s wall"]
+        if self.duplicates:
+            parts.insert(1, f"{self.duplicates} duplicate requests folded")
+        if self.failures:
+            parts.append(f"{len(self.failures)} FAILED")
+        return "sweep: " + ", ".join(parts)
+
+
+def _pool_execute(spec: RunSpec
+                  ) -> Tuple[str, Optional[RunResult], Optional[str]]:
+    """Top-level worker so ``multiprocessing`` can pickle it.
+
+    Failures are returned as data, not raised — one broken cell must not
+    abort the rest of a fan-out.
+    """
+    try:
+        return spec.key, execute_spec(spec), None
+    except Exception as exc:  # noqa: BLE001 - reported by the parent
+        return spec.key, None, f"{type(exc).__name__}: {exc}"
+
+
+def run_sweep(specs: Iterable[RunSpec], jobs: int = 1,
+              cache_dir: Optional[str] = None,
+              progress: Optional[Callable[[str], None]] = None
+              ) -> SweepReport:
+    """Materialize every cell in ``specs``, in parallel, through the cache.
+
+    ``jobs <= 1`` runs misses inline (still through the cache); ``jobs > 1``
+    fans misses out over a ``multiprocessing`` pool.  Workers return
+    sanitized results that are stored to both cache layers, so a warm
+    re-run executes zero simulations.  Because each cell's seed and config
+    are frozen in its spec, scheduling order cannot affect any result and
+    the parallel path is identical to the serial one.
+
+    ``cache_dir`` attaches the process-wide disk cache for this and all
+    later lookups (e.g. rendering tables right after the sweep).
+    """
+    if cache_dir is not None:
+        set_cache_dir(cache_dir)
+
+    def say(msg: str) -> None:
+        if progress is not None:
+            progress(msg)
+
+    t0 = time.perf_counter()
+    unique: List[RunSpec] = []
+    seen = set()
+    duplicates = 0
+    for spec in specs:
+        if spec.key in seen:
+            duplicates += 1
+            continue
+        seen.add(spec.key)
+        unique.append(spec)
+
+    report = SweepReport(specs=unique, results={}, jobs=max(1, int(jobs)),
+                         duplicates=duplicates)
+    missing: List[RunSpec] = []
+    for spec in unique:
+        result = _MEMORY.get(spec.key)
+        if result is not None:
+            report.results[spec.key] = result
+            report.hits_memory += 1
+            continue
+        if _DISK is not None:
+            result = _DISK.load(spec.key)
+            if result is not None:
+                _MEMORY[spec.key] = result
+                report.results[spec.key] = result
+                report.hits_disk += 1
+                continue
+        missing.append(spec)
+
+    say(f"{len(unique)} cells: {report.hits_memory + report.hits_disk} "
+        f"cached, {len(missing)} to run (jobs={report.jobs})")
+
+    by_key = {spec.key: spec for spec in missing}
+    if report.jobs > 1 and len(missing) > 1:
+        with multiprocessing.Pool(processes=report.jobs) as pool:
+            outcomes = pool.imap_unordered(_pool_execute, missing)
+            for key, result, error in outcomes:
+                _finish_cell(report, by_key[key], result, error, say)
+    else:
+        for spec in missing:
+            _key, result, error = _pool_execute(spec)
+            _finish_cell(report, spec, result, error, say)
+
+    report.wall_seconds = time.perf_counter() - t0
+    return report
+
+
+def _finish_cell(report: SweepReport, spec: RunSpec,
+                 result: Optional[RunResult], error: Optional[str],
+                 say: Callable[[str], None]) -> None:
+    if result is None:
+        report.failures.append((spec.label, error or "unknown error"))
+        say(f"FAILED {spec.label}: {error}")
+        return
+    _MEMORY[spec.key] = result
+    if _DISK is not None:
+        _DISK.store(spec, result)
+    report.results[spec.key] = result
+    report.executed += 1
+    say(f"ran {spec.label} "
+        f"(T={result.execution_time / 1e6:.2f}Mcy, "
+        f"{result.wall_seconds:.1f}s wall)")

@@ -1,6 +1,7 @@
 """The result of simulating one (application, protocol) pair."""
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
@@ -39,6 +40,37 @@ class RunResult:
     #: simulated clock frequency (for cycles -> seconds conversions)
     clock_hz: float = 100e6
     extra: Dict[str, Any] = field(default_factory=dict)
+
+    #: ``extra`` keys holding live in-process objects (event rings, span
+    #: buffers, the profiler).  They are dropped when a result is serialized
+    #: for the disk cache or shipped across a process boundary.
+    LIVE_EXTRA_KEYS = ("trace", "spans", "profiler")
+
+    def sanitized(self) -> "RunResult":
+        """A copy safe to pickle for the cache and cross-process transport.
+
+        Strips the live objects from :attr:`extra` (they are process-local
+        and can be arbitrarily large); every statistic — breakdowns, diff /
+        fault / LAP stats, metrics snapshot, traffic matrices — survives.
+        """
+        extra = {k: v for k, v in self.extra.items()
+                 if k not in self.LIVE_EXTRA_KEYS}
+        return dataclasses.replace(self, extra=extra)
+
+    def meta(self) -> Dict[str, Any]:
+        """Small JSON-safe summary for cache inspection (no unpickling)."""
+        return {
+            "app": self.app,
+            "protocol": self.protocol,
+            "num_procs": self.num_procs,
+            "execution_time": self.execution_time,
+            "messages_total": self.messages_total,
+            "network_bytes": self.network_bytes,
+            "events_processed": self.events_processed,
+            "barrier_events": self.barrier_events,
+            "lock_acquires_total": self.total_lock_acquires,
+            "wall_seconds": self.wall_seconds,
+        }
 
     @property
     def total_lock_acquires(self) -> int:

@@ -34,6 +34,26 @@ class TestRunner:
         r = run_app(make_app("is", "test"), "aec", config=cfg)
         assert r.num_procs == 8
 
+    def test_caller_config_not_mutated(self):
+        """Regression: protocol overrides used to be setattr'd onto the
+        caller's SimConfig, leaking into later runs sharing the object."""
+        cfg = SimConfig()
+        run_app(make_app("is", "test"), "tmk-lh", config=cfg)
+        assert cfg.tm_lazy_hybrid is False
+        assert cfg.use_lap is False
+
+    def test_protocol_overrides_do_not_leak_across_runs(self):
+        """One config reused across protocols must give the same results
+        as fresh configs: a tmk run after a tmk-lh run with the same
+        object used to inherit tm_lazy_hybrid=True."""
+        shared = SimConfig()
+        run_app(make_app("is", "test"), "tmk-lh", config=shared)
+        contaminated = run_app(make_app("is", "test"), "tmk", config=shared)
+        pristine = run_app(make_app("is", "test"), "tmk",
+                           config=SimConfig())
+        assert contaminated.execution_time == pristine.execution_time
+        assert contaminated.messages_total == pristine.messages_total
+
 
 class TestCache:
     def test_hit_returns_same_object(self):
@@ -48,6 +68,22 @@ class TestCache:
         cached_run("fft", "test", "aec")
         cached_run("fft", "test", "aec", update_set_size=3)
         assert cache_size() == 2
+
+    def test_check_flag_is_part_of_the_key(self, monkeypatch):
+        """Regression: the memo key used to omit ``check``, so a
+        check=False result was served to a check=True caller and the
+        app's correctness check silently never ran."""
+        from repro.apps.fft import FFTApp
+        calls = []
+        orig = FFTApp.check
+        monkeypatch.setattr(
+            FFTApp, "check",
+            lambda self, results: (calls.append(1), orig(self, results)))
+        clear_cache()
+        cached_run("fft", "test", "aec", check=False)
+        assert calls == []
+        cached_run("fft", "test", "aec", check=True)
+        assert calls == [1]
 
 
 class TestExperiments:

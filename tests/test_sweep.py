@@ -1,0 +1,266 @@
+"""Tests for the parallel, disk-cached experiment runner (harness.sweep)."""
+import pickle
+
+import pytest
+
+from repro.config import MachineParams, SimConfig, config_digest
+from repro.harness import experiments as ex
+from repro.harness import sweep as sw
+from repro.harness.cli import main
+from repro.harness.runner import resolve_config
+
+
+@pytest.fixture(autouse=True)
+def _isolated_caches():
+    """Each test starts with an empty memo and no attached disk cache."""
+    sw.clear_memory()
+    sw.set_cache_dir(None)
+    yield
+    sw.clear_memory()
+    sw.set_cache_dir(None)
+
+
+def assert_results_equal(a, b):
+    """Every statistic the paper's tables consume must match exactly."""
+    assert a.execution_time == b.execution_time
+    assert a.breakdown.cycles == b.breakdown.cycles
+    assert [n.cycles for n in a.node_breakdowns] == \
+        [n.cycles for n in b.node_breakdowns]
+    assert a.diff_stats == b.diff_stats
+    assert a.fault_stats == b.fault_stats
+    assert a.lock_acquires == b.lock_acquires
+    assert a.barrier_events == b.barrier_events
+    assert a.messages_total == b.messages_total
+    assert a.network_bytes == b.network_bytes
+    assert a.events_processed == b.events_processed
+    if a.lap_stats is None:
+        assert b.lap_stats is None
+    else:
+        assert a.lap_stats.overall_rates() == b.lap_stats.overall_rates()
+
+
+SMALL_CELLS = [("is", "aec"), ("is", "tmk"), ("fft", "aec"), ("fft", "tmk")]
+
+
+def small_specs():
+    return [sw.make_spec(app, "test", protocol)
+            for app, protocol in SMALL_CELLS]
+
+
+class TestRunSpec:
+    def test_same_inputs_same_key(self):
+        assert sw.make_spec("is", "test", "aec").key == \
+            sw.make_spec("is", "test", "aec").key
+
+    def test_every_input_is_keyed(self):
+        base = sw.make_spec("is", "test", "aec")
+        variants = [
+            sw.make_spec("fft", "test", "aec"),
+            sw.make_spec("is", "bench", "aec"),
+            sw.make_spec("is", "test", "aec-nolap"),
+            sw.make_spec("is", "test", "aec", check=False),
+            sw.make_spec("is", "test", "aec", seed=7),
+            sw.make_spec("is", "test", "aec", update_set_size=3),
+            sw.make_spec("is", "test", "aec", affinity_threshold=0.5),
+            sw.make_spec("is", "test", "aec",
+                         config=SimConfig(machine=MachineParams(
+                             num_procs=8))),
+        ]
+        keys = {base.key} | {v.key for v in variants}
+        assert len(keys) == len(variants) + 1
+
+    def test_protocol_overrides_resolved_into_key(self):
+        """tmk vs tmk-lh share every explicit argument; the resolved
+        tm_lazy_hybrid override must still separate their keys."""
+        assert sw.make_spec("is", "test", "tmk").key != \
+            sw.make_spec("is", "test", "tmk-lh").key
+        assert sw.make_spec("is", "test", "tmk-lh").config.tm_lazy_hybrid
+
+    def test_spec_config_is_a_frozen_copy(self):
+        cfg = SimConfig()
+        spec = sw.make_spec("is", "test", "aec", config=cfg)
+        key = spec.key
+        cfg.seed = 999  # caller mutates afterwards
+        assert spec.config.seed == 42
+        assert spec.key == key
+
+    def test_spec_equality_and_hash(self):
+        a, b = sw.make_spec("is", "test", "aec"), \
+            sw.make_spec("is", "test", "aec")
+        assert a == b and len({a, b}) == 1
+        assert a != sw.make_spec("is", "test", "tmk")
+
+    def test_config_digest_covers_machine(self):
+        assert config_digest(SimConfig()) != config_digest(
+            SimConfig(machine=MachineParams(num_procs=8)))
+
+    def test_resolve_config_idempotent(self):
+        once = resolve_config("aec", SimConfig())
+        assert resolve_config("aec", once) == once
+
+
+class TestDeterminismAndCache:
+    def test_same_spec_twice_hits_memo_with_equal_result(self, tmp_path):
+        spec = sw.make_spec("fft", "test", "aec")
+        first = sw.execute_spec(spec)
+        again = sw.execute_spec(spec)
+        assert_results_equal(first, again)
+        cached = sw.get_result(spec)
+        assert sw.get_result(spec) is cached
+
+    def test_disk_round_trip_preserves_everything(self, tmp_path):
+        cache = sw.DiskCache(str(tmp_path))
+        spec = sw.make_spec("is", "test", "aec")
+        result = sw.execute_spec(spec)
+        cache.store(spec, result)
+        loaded = cache.load(spec.key)
+        assert_results_equal(result, loaded)
+        assert loaded.extra["lock_vars"] == result.extra["lock_vars"]
+        import numpy as np
+        np.testing.assert_array_equal(loaded.extra["pair_messages"],
+                                      result.extra["pair_messages"])
+
+    def test_warm_rerun_executes_nothing(self, tmp_path):
+        specs = small_specs()
+        cold = sw.run_sweep(specs, jobs=1, cache_dir=str(tmp_path))
+        assert cold.executed == len(specs) and not cold.failures
+        sw.clear_memory()
+        warm = sw.run_sweep(specs, jobs=1, cache_dir=str(tmp_path))
+        assert warm.executed == 0
+        assert warm.hits_disk == len(specs)
+        for spec in specs:
+            assert_results_equal(cold.result_for(spec),
+                                 warm.result_for(spec))
+
+    def test_serial_and_parallel_sweeps_identical(self, tmp_path):
+        specs = small_specs()
+        serial = sw.run_sweep(specs, jobs=1,
+                              cache_dir=str(tmp_path / "serial"))
+        sw.clear_memory()
+        parallel = sw.run_sweep(specs, jobs=4,
+                                cache_dir=str(tmp_path / "parallel"))
+        assert serial.executed == parallel.executed == len(specs)
+        assert not serial.failures and not parallel.failures
+        for spec in specs:
+            assert_results_equal(serial.result_for(spec),
+                                 parallel.result_for(spec))
+
+    def test_corrupted_entry_transparently_rerun(self, tmp_path):
+        spec = sw.make_spec("is", "test", "aec")
+        reference = sw.run_sweep([spec], cache_dir=str(tmp_path)) \
+            .result_for(spec)
+        pkl, _meta = sw.DiskCache(str(tmp_path))._paths(spec.key)
+        with open(pkl, "wb") as fh:
+            fh.write(b"\x80\x05 this is not a pickle")
+        sw.clear_memory()
+        rerun = sw.run_sweep([spec], cache_dir=str(tmp_path))
+        assert rerun.executed == 1  # corrupt entry evicted, cell re-ran
+        assert_results_equal(reference, rerun.result_for(spec))
+
+    def test_stale_entry_of_wrong_type_rerun(self, tmp_path):
+        spec = sw.make_spec("is", "test", "aec")
+        cache = sw.DiskCache(str(tmp_path))
+        pkl, _meta = cache._paths(spec.key)
+        pkl_dir = tmp_path / spec.key[:2]
+        pkl_dir.mkdir(parents=True, exist_ok=True)
+        with open(pkl, "wb") as fh:
+            pickle.dump({"not": "a RunResult"}, fh)
+        assert cache.load(spec.key) is None
+        report = sw.run_sweep([spec], cache_dir=str(tmp_path))
+        assert report.executed == 1
+
+    def test_duplicate_specs_folded(self, tmp_path):
+        spec = sw.make_spec("is", "test", "aec")
+        report = sw.run_sweep([spec, spec, spec])
+        assert report.total == 1 and report.duplicates == 2
+        assert report.executed == 1
+
+    def test_failed_cell_reported_not_raised(self):
+        good = sw.make_spec("is", "test", "aec")
+        bad = sw.RunSpec("is", "nope", "aec", resolve_config("aec"), True)
+        report = sw.run_sweep([good, bad])
+        assert len(report.failures) == 1
+        assert "nope" in report.failures[0][1]
+        assert good.key in report.results and bad.key not in report.results
+
+    def test_sanitized_strips_live_objects_only(self):
+        spec = sw.make_spec("is", "test", "aec")
+        result = sw.get_result(spec)
+        for key in ("trace", "spans", "profiler"):
+            assert key not in result.extra
+        for key in ("lock_vars", "app_params", "pair_messages",
+                    "pair_bytes"):
+            assert key in result.extra
+
+
+class TestExperimentCells:
+    def test_cells_are_deduplicated_across_experiments(self):
+        # app-under-AEC cells are shared by table2/3/4 and fig3-6
+        all_names = list(ex.EXPERIMENT_CELLS)
+        deduped = ex.experiment_cells(all_names, "test")
+        raw = sum(len(ex.EXPERIMENT_CELLS[n]("test")) for n in all_names)
+        assert len(deduped) < raw
+        assert len({s.key for s in deduped}) == len(deduped)
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(ValueError):
+            ex.experiment_cells(["tableX"], "test")
+
+    def test_cells_cover_row_builders(self, tmp_path):
+        """Pre-warming the declared cells renders tables with zero extra
+        simulations — the two layers enumerate the same specs."""
+        report = sw.run_sweep(ex.experiment_cells(["table2", "fig4"],
+                                                  "test"))
+        assert report.executed > 0
+        rows2 = ex.table2("test")
+        rows4 = ex.figure4("test")
+        assert rows2 and rows4
+        again = sw.run_sweep(ex.experiment_cells(["table2", "fig4"],
+                                                 "test"))
+        assert again.executed == 0
+
+    def test_scalability_cells_carry_custom_machines(self):
+        cells = ex.ablation_scalability_cells("test", apps=("is",),
+                                              procs=(4, 8),
+                                              protocols=("aec",))
+        assert [c.config.machine.num_procs for c in cells] == [4, 8]
+        assert len({c.key for c in cells}) == 2
+
+
+class TestSweepCLI:
+    def test_sweep_command_and_warm_rerun(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        assert main(["sweep", "table2", "--scale", "test",
+                     "--jobs", "1", "--cache-dir", cache_dir]) == 0
+        out = capsys.readouterr().out
+        assert "6 executed" in out
+        sw.clear_memory()
+        sw.set_cache_dir(None)
+        assert main(["sweep", "table2", "--scale", "test",
+                     "--jobs", "1", "--cache-dir", cache_dir]) == 0
+        out = capsys.readouterr().out
+        assert "0 executed" in out and "6 disk hits" in out
+
+    def test_cache_inspect_and_clear(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        main(["sweep", "table2", "--scale", "test",
+              "--cache-dir", cache_dir])
+        capsys.readouterr()
+        assert main(["cache", "inspect", "--cache-dir", cache_dir]) == 0
+        out = capsys.readouterr().out
+        assert "6 cells" in out and "aec" in out
+        assert main(["cache", "clear", "--cache-dir", cache_dir]) == 0
+        assert "removed 6" in capsys.readouterr().out
+        assert main(["cache", "inspect", "--cache-dir", cache_dir]) == 0
+        assert "empty" in capsys.readouterr().out
+
+    def test_sweep_rejects_unknown_experiment(self, capsys):
+        assert main(["sweep", "tableX", "--scale", "test"]) == 2
+
+    def test_experiment_command_with_jobs_and_cache(self, tmp_path,
+                                                    capsys):
+        cache_dir = str(tmp_path / "cache")
+        assert main(["experiment", "table2", "--scale", "test",
+                     "--jobs", "2", "--cache-dir", cache_dir]) == 0
+        assert "Table 2" in capsys.readouterr().out
+        assert sw.DiskCache(cache_dir).keys()  # results were persisted
