@@ -41,6 +41,7 @@ class AppContext:
 
     def __init__(self, node: ProtocolNode, seed: int) -> None:
         self._node = node
+        self._checker = node.world.checker
         self.proc = node.node_id
         self.nprocs = node.machine.num_procs
         self.rng = np.random.default_rng((seed, node.node_id))
@@ -77,15 +78,30 @@ class AppContext:
         yield from self.write(seg, start, np.full(n, value, dtype=np.float64))
 
     # ---- synchronization -----------------------------------------------------
+    #
+    # The consistency checker's happens-before edges hang off these calls:
+    # every protocol's sync ops funnel through here, so hooking the context
+    # (rather than each protocol) covers AEC, TreadMarks, Munin and SC
+    # alike.  Hook placement mirrors the HB semantics — release is ordered
+    # before the protocol publishes the lock, acquire after the grant
+    # completes, barrier arrival before entering / departure after leaving.
 
     def acquire(self, lock_id: int) -> Generator:
         yield from self._node.acquire(lock_id)
+        if self._checker.enabled:
+            self._checker.on_acquire(self.proc, lock_id)
 
     def release(self, lock_id: int) -> Generator:
+        if self._checker.enabled:
+            self._checker.on_release(self.proc, lock_id)
         yield from self._node.release(lock_id)
 
     def barrier(self, barrier_id: int) -> Generator:
+        if self._checker.enabled:
+            self._checker.on_barrier_arrive(self.proc)
         yield from self._node.barrier(barrier_id)
+        if self._checker.enabled:
+            self._checker.on_barrier_depart(self.proc)
 
     def acquire_notice(self, lock_id: int) -> Generator:
         """Announce intent to acquire soon (LAP's virtual-queue input)."""
@@ -101,6 +117,11 @@ class Application:
 
     #: registry key and default Table 2 identity
     name = "app"
+
+    #: segment names whose *final* content legitimately depends on
+    #: scheduling (e.g. work-stealing queue cursors) — the cross-protocol
+    #: divergence oracle skips them when diffing final memory
+    volatile_segments: Sequence[str] = ()
 
     def declare(self, layout: Layout, sync: SyncRegistry) -> None:
         raise NotImplementedError

@@ -116,6 +116,10 @@ class OceanApp(Application):
             inner = new[1:-1, 1:-1]
             inner[mask] = upd[mask]
             yield from ctx.compute(POINT_CYCLES * (hi - lo) * g)
+            # phase barrier: everyone finishes reading the old halo rows
+            # before any owner overwrites them — the classic two-phase
+            # Jacobi labeling that keeps the sweep data-race-free
+            yield from ctx.barrier(self.bar)
             for r in range(lo, hi):
                 yield from ctx.write(self.grid_seg, r * g, new[r - top])
             # convergence test: reduce a residual under the error lock
@@ -126,7 +130,6 @@ class OceanApp(Application):
                 yield from ctx.write1(self.sums, 0, v + resid)
                 yield from ctx.release(self.err_lock)
             yield from ctx.barrier(self.bar)
-            yield from ctx.barrier(self.bar)  # phase barrier of the sweep
 
         # final accumulations under the remaining global locks (psiai /
         # multiplier sums of the original)

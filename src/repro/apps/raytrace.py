@@ -28,6 +28,9 @@ TRACE_CYCLES_PER_PIXEL = 9000
 
 class RaytraceApp(Application):
     name = "raytrace"
+    #: queue head/tail cursors end wherever task stealing left them — their
+    #: final values are schedule-dependent, unlike the image/scene/counters
+    volatile_segments = ("rt.queues",)
 
     def __init__(self, tasks_per_proc: int = 64, pixels_per_task: int = 16,
                  scene_words: int = 16384) -> None:

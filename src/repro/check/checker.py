@@ -1,0 +1,430 @@
+"""Happens-before sanitizer for simulated DSM runs.
+
+``ConsistencyChecker`` observes every shared-memory access and every
+synchronization operation of a run and maintains:
+
+* **per-node vector clocks** advanced by the release-consistency HB edges
+  (lock release -> next acquire of the same lock, barrier arrival -> every
+  departure of the same episode), plus
+
+* **shadow memory**: for every shared word, the last write epoch (node,
+  that node's clock component, sim time, innermost lock held, value) and a
+  per-word read-clock matrix, in the style of FastTrack.
+
+From these it flags two kinds of violation:
+
+``race:*``
+    conflicting accesses to the same word unordered by happens-before
+    (``race:ww`` write-after-write, ``race:wr`` read-after-write,
+    ``race:rw`` write-after-read).  Races are a property of the *program*
+    under the sync model, not of the protocol.
+
+``stale-read``
+    a read that IS ordered after a write by happens-before, yet observes a
+    different value — the entry-consistency violation a correct protocol
+    must never produce.  Detection is value-based (read data compared to
+    the shadow's last-written value), which makes it robust to diff
+    compression: a protocol may ship a word by any route as long as the
+    right value is in place when an ordered read happens.
+
+The checker is pure observation: it never yields, never charges cycles, and
+never mutates protocol state, so checker-on and checker-off runs have
+identical simulated timing.
+"""
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.config import SimConfig
+from repro.memory.layout import Layout
+
+
+@dataclass
+class ViolationReport:
+    """One detected consistency violation, fully localized."""
+
+    #: "race:ww" | "race:wr" | "race:rw" | "stale-read"
+    kind: str
+    #: word address / containing page / word offset within the page
+    addr: int
+    page: int
+    word: int
+    #: segment the address belongs to (None for out-of-segment addresses)
+    segment: Optional[str]
+    #: the access that *detected* the violation
+    node: int
+    op: str            # "read" | "write"
+    time: float        # sim time of the detecting access
+    node_vc: Tuple[int, ...]
+    #: innermost lock the detecting node held (None outside any CS)
+    lock: Optional[int]
+    #: the other half of the pair — for races the unordered access, for
+    #: stale reads the HB-ordered write whose value went missing
+    other_node: int
+    other_clock: int   # the other node's own VC component at its access
+    other_time: float
+    other_op: str
+    other_lock: Optional[int]
+    #: stale reads only: value the shadow says must be visible vs observed
+    expected: Optional[float] = None
+    observed: Optional[float] = None
+    #: how the page last arrived at the detecting node (kind, origin, time)
+    last_transfer: Optional[Tuple[str, int, float]] = None
+
+    def describe(self) -> str:
+        loc = f"{self.segment}+{self.addr}" if self.segment else f"addr {self.addr}"
+        head = (f"{self.kind} @ {loc} (page {self.page}, word {self.word}): "
+                f"node {self.node} {self.op} at t={self.time:.0f}")
+        pair = (f" vs node {self.other_node} {self.other_op} "
+                f"at t={self.other_time:.0f} (clock {self.other_clock})")
+        if self.kind == "stale-read":
+            pair += f"; expected {self.expected!r}, observed {self.observed!r}"
+        if self.lock is not None:
+            pair += f"; reader holds lock {self.lock}"
+        if self.other_lock is not None:
+            pair += f"; writer held lock {self.other_lock}"
+        if self.last_transfer is not None:
+            k, o, t = self.last_transfer
+            pair += f"; page last arrived via {k} from node {o} at t={t:.0f}"
+        return head + pair
+
+    def to_dict(self) -> Dict[str, Any]:
+        d = dict(self.__dict__)
+        d["node_vc"] = list(self.node_vc)
+        if self.last_transfer is not None:
+            d["last_transfer"] = list(self.last_transfer)
+        return d
+
+
+@dataclass
+class CheckReport:
+    """Outcome of one checked run."""
+
+    violations: List[ViolationReport] = field(default_factory=list)
+    #: full counts per kind (keeps counting past the report cap)
+    counts: Dict[str, int] = field(default_factory=dict)
+    truncated: bool = False
+    reads_checked: int = 0
+    writes_checked: int = 0
+    words_read: int = 0
+    words_written: int = 0
+    pages_tracked: int = 0
+    #: page/diff transfer counts by kind ("page", "diff", ...)
+    transfers: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def total_violations(self) -> int:
+        return sum(self.counts.values())
+
+    @property
+    def clean(self) -> bool:
+        return self.total_violations == 0
+
+    def summary(self) -> str:
+        if self.clean:
+            body = "clean"
+        else:
+            parts = [f"{k}={v}" for k, v in sorted(self.counts.items())]
+            body = f"{self.total_violations} violations ({', '.join(parts)})"
+            if self.truncated:
+                body += " [report list truncated]"
+        return (f"consistency check: {body}; "
+                f"{self.reads_checked} reads / {self.writes_checked} writes "
+                f"checked over {self.pages_tracked} pages")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "clean": self.clean,
+            "total_violations": self.total_violations,
+            "counts": dict(self.counts),
+            "truncated": self.truncated,
+            "reads_checked": self.reads_checked,
+            "writes_checked": self.writes_checked,
+            "words_read": self.words_read,
+            "words_written": self.words_written,
+            "pages_tracked": self.pages_tracked,
+            "transfers": dict(self.transfers),
+            "violations": [v.to_dict() for v in self.violations],
+        }
+
+    def to_json(self, **kwargs: Any) -> str:
+        return json.dumps(self.to_dict(), **kwargs)
+
+
+class _ShadowPage:
+    """Shadow state of one shared page (lazily allocated)."""
+
+    __slots__ = ("w_node", "w_clk", "w_time", "w_lock", "w_val", "racy",
+                 "r_clk")
+
+    def __init__(self, wpp: int, nprocs: int) -> None:
+        self.w_node = np.full(wpp, -1, dtype=np.int64)
+        self.w_clk = np.zeros(wpp, dtype=np.int64)
+        self.w_time = np.zeros(wpp, dtype=np.float64)
+        self.w_lock = np.full(wpp, -1, dtype=np.int64)
+        self.w_val = np.zeros(wpp, dtype=np.float64)
+        #: word ever involved in a race — suppresses stale-read reports,
+        #: which are only meaningful for HB-ordered access pairs
+        self.racy = np.zeros(wpp, dtype=bool)
+        #: r_clk[w, n] = node n's own VC component at its last read of w
+        self.r_clk = np.zeros((wpp, nprocs), dtype=np.int64)
+
+
+class NullChecker:
+    """Disabled checker: one attribute test per access site, nothing more."""
+
+    enabled = False
+
+    def finish(self) -> None:
+        return None
+
+
+class ConsistencyChecker:
+    """Vector-clock happens-before tracker + shadow memory (see module doc)."""
+
+    enabled = True
+
+    def __init__(self, config: SimConfig, layout: Layout,
+                 num_procs: int) -> None:
+        self.layout = layout
+        self.wpp = layout.words_per_page
+        self.nprocs = num_procs
+        self.max_reports = config.check_max_reports
+        # each node's own component starts at 1 so that epoch (n, 0) can
+        # never be confused with "visible from the start"
+        self.vc = np.zeros((num_procs, num_procs), dtype=np.int64)
+        for n in range(num_procs):
+            self.vc[n, n] = 1
+        #: per-lock clock: join of every release of that lock so far
+        self._lock_vc: Dict[int, np.ndarray] = {}
+        #: lock stack per node, maintained from the acquire/release hooks
+        self._lock_stack: List[List[int]] = [[] for _ in range(num_procs)]
+        # barrier episodes: nodes may race ahead into episode k+1 before
+        # stragglers depart episode k, so arrivals are bucketed by a
+        # per-node episode counter rather than by barrier id
+        self._bar_ep = [0] * num_procs
+        self._episodes: Dict[int, Dict[str, Any]] = {}
+        self._shadow: Dict[int, _ShadowPage] = {}
+        #: last transfer that refreshed each page on each node:
+        #: (dst, page) -> (kind, origin, time)
+        self._last_transfer: Dict[Tuple[int, int], Tuple[str, int, float]] = {}
+        self.report = CheckReport()
+        # resolve addr -> segment name via sorted segment bases
+        segs = sorted(layout.all_segments(), key=lambda s: s.base)
+        self._seg_bases = np.asarray([s.base for s in segs], dtype=np.int64)
+        self._seg_ends = np.asarray([s.end for s in segs], dtype=np.int64)
+        self._seg_names = [s.name for s in segs]
+
+    # ------------------------------------------------------------- HB edges
+
+    def on_acquire(self, node: int, lock_id: int) -> None:
+        """Acquire joins the lock's release clock into the acquirer."""
+        lvc = self._lock_vc.get(lock_id)
+        if lvc is not None:
+            np.maximum(self.vc[node], lvc, out=self.vc[node])
+        self._lock_stack[node].append(lock_id)
+
+    def on_release(self, node: int, lock_id: int) -> None:
+        """Release publishes the releaser's clock on the lock, then steps
+        the releaser into a fresh epoch."""
+        stack = self._lock_stack[node]
+        if lock_id in stack:
+            stack.remove(lock_id)
+        lvc = self._lock_vc.get(lock_id)
+        if lvc is None:
+            self._lock_vc[lock_id] = self.vc[node].copy()
+        else:
+            np.maximum(lvc, self.vc[node], out=lvc)
+        self.vc[node, node] += 1
+
+    def on_barrier_arrive(self, node: int) -> None:
+        ep = self._episodes.setdefault(
+            self._bar_ep[node], {"vcs": [], "join": None, "departed": 0})
+        ep["vcs"].append(self.vc[node].copy())
+
+    def on_barrier_depart(self, node: int) -> None:
+        """Departure joins every arrival clock of this episode."""
+        key = self._bar_ep[node]
+        ep = self._episodes[key]
+        if ep["join"] is None:
+            ep["join"] = np.maximum.reduce(ep["vcs"])
+        np.maximum(self.vc[node], ep["join"], out=self.vc[node])
+        self.vc[node, node] += 1
+        self._bar_ep[node] += 1
+        ep["departed"] += 1
+        if ep["departed"] == self.nprocs:
+            del self._episodes[key]
+
+    def note_transfer(self, kind: str, dst: int, page: int, origin: int,
+                      time: float) -> None:
+        """Record a page/diff movement (context for reports, not an HB edge:
+        consistency edges come from synchronization, data movement merely
+        implements them)."""
+        t = self.report.transfers
+        t[kind] = t.get(kind, 0) + 1
+        self._last_transfer[(dst, page)] = (kind, origin, time)
+
+    # -------------------------------------------------------- access checks
+
+    def on_read(self, node: int, addr: int, data: np.ndarray,
+                time: float) -> None:
+        self.report.reads_checked += 1
+        self.report.words_read += len(data)
+        vcn = self.vc[node]
+        own = vcn[node]
+        pos = 0
+        for pn, off, n in self._chunks(addr, len(data)):
+            sp = self._page(pn)
+            sl = slice(off, off + n)
+            w_node = sp.w_node[sl]
+            written = w_node >= 0
+            if written.any():
+                safe = np.where(written, w_node, 0)
+                # write visible to this reader iff the reader's clock has
+                # reached the writer's epoch
+                visible = vcn[safe] >= sp.w_clk[sl]
+                race = written & ~visible & (w_node != node)
+                if race.any():
+                    self._emit_access(race, "race:wr", node, "read", pn, off,
+                                      sp, time, None)
+                    sp.racy[sl] |= race
+                stale = (written & visible & ~sp.racy[sl]
+                         & (data[pos:pos + n] != sp.w_val[sl]))
+                if stale.any():
+                    self._emit_access(stale, "stale-read", node, "read", pn,
+                                      off, sp, time, data[pos:pos + n])
+            sp.r_clk[sl, node] = own
+            pos += n
+
+    def on_write(self, node: int, addr: int, values: np.ndarray,
+                 time: float) -> None:
+        self.report.writes_checked += 1
+        self.report.words_written += len(values)
+        vcn = self.vc[node]
+        stack = self._lock_stack[node]
+        lock = stack[-1] if stack else -1
+        pos = 0
+        for pn, off, n in self._chunks(addr, len(values)):
+            sp = self._page(pn)
+            sl = slice(off, off + n)
+            w_node = sp.w_node[sl]
+            written_other = (w_node >= 0) & (w_node != node)
+            if written_other.any():
+                safe = np.where(w_node >= 0, w_node, 0)
+                ww = written_other & (sp.w_clk[sl] > vcn[safe])
+                if ww.any():
+                    self._emit_access(ww, "race:ww", node, "write", pn, off,
+                                      sp, time, None)
+                    sp.racy[sl] |= ww
+            # write-after-read: some node's last read is not ordered
+            # before this write
+            unordered_reads = sp.r_clk[sl] > vcn[np.newaxis, :]
+            unordered_reads[:, node] = False
+            rw = unordered_reads.any(axis=1)
+            if rw.any():
+                self._emit_read_write(rw, unordered_reads, node, pn, off,
+                                      sp, time)
+                sp.racy[sl] |= rw
+            sp.w_node[sl] = node
+            sp.w_clk[sl] = vcn[node]
+            sp.w_time[sl] = time
+            sp.w_lock[sl] = lock
+            sp.w_val[sl] = values[pos:pos + n]
+            pos += n
+
+    # ------------------------------------------------------------ internals
+
+    def _page(self, pn: int) -> _ShadowPage:
+        sp = self._shadow.get(pn)
+        if sp is None:
+            sp = _ShadowPage(self.wpp, self.nprocs)
+            self._shadow[pn] = sp
+        return sp
+
+    def _chunks(self, addr: int, nwords: int):
+        """Split a word range into (page, offset, length) pieces."""
+        while nwords > 0:
+            pn, off = divmod(addr, self.wpp)
+            n = min(nwords, self.wpp - off)
+            yield pn, off, n
+            addr += n
+            nwords -= n
+
+    def _segment_of(self, addr: int) -> Optional[str]:
+        i = int(np.searchsorted(self._seg_bases, addr, side="right")) - 1
+        if i >= 0 and addr < self._seg_ends[i]:
+            return self._seg_names[i]
+        return None
+
+    def _count(self, kind: str, n: int) -> int:
+        """Bump the full counter; return how many reports may still be kept."""
+        self.report.counts[kind] = self.report.counts.get(kind, 0) + n
+        room = self.max_reports - len(self.report.violations)
+        if room < n:
+            self.report.truncated = True
+        return max(0, room)
+
+    def _emit_access(self, mask: np.ndarray, kind: str, node: int, op: str,
+                     pn: int, off: int, sp: _ShadowPage, time: float,
+                     data: Optional[np.ndarray]) -> None:
+        """Report violations where the 'other' access is the last write."""
+        idxs = np.flatnonzero(mask)
+        room = self._count(kind, len(idxs))
+        stack = self._lock_stack[node]
+        lock = stack[-1] if stack else None
+        for i in idxs[:room]:
+            w = off + int(i)
+            addr = pn * self.wpp + w
+            wl = int(sp.w_lock[w])
+            self.report.violations.append(ViolationReport(
+                kind=kind, addr=addr, page=pn, word=w,
+                segment=self._segment_of(addr),
+                node=node, op=op, time=time,
+                node_vc=tuple(int(x) for x in self.vc[node]),
+                lock=lock,
+                other_node=int(sp.w_node[w]), other_clock=int(sp.w_clk[w]),
+                other_time=float(sp.w_time[w]), other_op="write",
+                other_lock=wl if wl >= 0 else None,
+                expected=(float(sp.w_val[w]) if kind == "stale-read" else None),
+                observed=(float(data[int(i)]) if data is not None else None),
+                last_transfer=self._last_transfer.get((node, pn)),
+            ))
+
+    def _emit_read_write(self, mask: np.ndarray, unordered: np.ndarray,
+                         node: int, pn: int, off: int, sp: _ShadowPage,
+                         time: float) -> None:
+        """Report write-after-read races (other access is a prior read)."""
+        idxs = np.flatnonzero(mask)
+        room = self._count("race:rw", len(idxs))
+        stack = self._lock_stack[node]
+        lock = stack[-1] if stack else None
+        for i in idxs[:room]:
+            w = off + int(i)
+            addr = pn * self.wpp + w
+            reader = int(np.flatnonzero(unordered[int(i)])[0])
+            self.report.violations.append(ViolationReport(
+                kind="race:rw", addr=addr, page=pn, word=w,
+                segment=self._segment_of(addr),
+                node=node, op="write", time=time,
+                node_vc=tuple(int(x) for x in self.vc[node]),
+                lock=lock,
+                other_node=reader,
+                other_clock=int(sp.r_clk[off + int(i), reader]),
+                other_time=0.0, other_op="read", other_lock=None,
+                last_transfer=self._last_transfer.get((node, pn)),
+            ))
+
+    def finish(self) -> CheckReport:
+        self.report.pages_tracked = len(self._shadow)
+        return self.report
+
+
+def make_checker(config: SimConfig, layout: Layout, num_procs: int):
+    """Checker factory: a real checker when enabled, else the null object."""
+    if config.check_consistency:
+        return ConsistencyChecker(config, layout, num_procs)
+    return NullChecker()

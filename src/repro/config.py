@@ -161,6 +161,16 @@ class SimConfig:
     #: profile the simulator's own wall-clock hot loop (host time, not
     #: simulated time); report lands in ``RunResult.profile``
     profile: bool = False
+    #: run the happens-before sanitizer / consistency oracle alongside the
+    #: simulation (``repro.check``): shadow memory tracks the last writer of
+    #: every shared word and flags data races and entry-consistency stale
+    #: reads.  Pure observation — simulated timing is unaffected — but the
+    #: flag is part of the canonical config (and therefore of every sweep
+    #: cache key), so checker-on and checker-off results never alias.
+    check_consistency: bool = False
+    #: cap on retained ``ViolationReport`` objects (counters keep counting
+    #: past the cap; only the structured reports stop accumulating)
+    check_max_reports: int = 200
     #: safety valve: abort runs exceeding this many simulated events
     max_events: int = 50_000_000
 

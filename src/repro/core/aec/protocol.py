@@ -299,6 +299,10 @@ class AECNode(ProtocolNode):
             if meta.twin is not None:
                 meta.twin[offs] = diff.values[mask]
             self.hw.page_updated(self.page_addr(pn), self.page_words())
+        checker = self.world.checker
+        if checker.enabled:
+            checker.note_transfer("diff", dst=self.node_id, page=pn,
+                                  origin=diff.origin, time=end)
         hidden = self._hidden_portion(start, end, cycles, hidden_behind)
         self.world.diff_stats.record_apply(cycles, hidden)
 
@@ -374,6 +378,10 @@ class AECNode(ProtocolNode):
                 self.span_end(fetch_span)
                 self.store.ensure(pn, reply["content"])
                 self.hw.page_updated(self.page_addr(pn), self.page_words())
+                checker = self.world.checker
+                if checker.enabled:
+                    checker.note_transfer("page", dst=self.node_id, page=pn,
+                                          origin=home, time=self.now())
                 if reply["word_stamps"] is not None:
                     meta.word_stamps = reply["word_stamps"].copy()
                 else:

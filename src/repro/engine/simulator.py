@@ -91,7 +91,7 @@ class Simulator:
         #: wall-clock hot-loop profiler; None (the default) costs one
         #: ``is not None`` check per dispatched event
         self.profiler: Optional[Profiler] = (
-            Profiler() if getattr(config, "profile", False) else None)
+            Profiler() if config.profile else None)
 
     # ------------------------------------------------------------------ API
 

@@ -4,6 +4,8 @@ Examples::
 
     repro run --app is --protocol aec --scale test
     repro run --app is --protocol aec --trace-out /tmp/is.json --profile
+    repro run --app is --protocol aec --check-consistency
+    repro check is water-ns --protocols aec tmk --json report.json
     repro compare --app raytrace --scale bench
     repro trace /tmp/aec.json --app is --scale test
     repro metrics --app is --protocol aec --scale test
@@ -38,6 +40,8 @@ def _make_config(args, **overrides) -> SimConfig:
         kwargs["profile"] = True
     if getattr(args, "trace", False) or getattr(args, "trace_out", None):
         kwargs["obs_spans"] = True
+    if getattr(args, "check_consistency", False):
+        kwargs["check_consistency"] = True
     kwargs.update(overrides)
     return SimConfig(**kwargs)
 
@@ -68,11 +72,23 @@ def _print_profile(result) -> None:
         print(prof.render())
 
 
+def _print_check_report(rep, verbose: bool, limit: int = 10) -> None:
+    print(f"  {rep.summary()}")
+    shown = rep.violations[:limit] if not verbose else rep.violations
+    for v in shown:
+        print(f"    {v.describe()}")
+    if len(rep.violations) > len(shown):
+        print(f"    ... {len(rep.violations) - len(shown)} more "
+              f"(rerun with -v)")
+
+
 def _cmd_run(args) -> int:
     config = _make_config(args)
     result = run_app(make_app(args.app, args.scale), args.protocol,
                      config=config)
     print(result.summary())
+    if args.check_consistency:
+        _print_check_report(result.check_report, args.verbose)
     if args.verbose:
         mhz = result.clock_hz / 1e6
         print(f"  execution time : {result.execution_time:,.0f} cycles "
@@ -88,11 +104,82 @@ def _cmd_run(args) -> int:
         print(f"  simulated evts : {result.events_processed:,} "
               f"in {result.wall_seconds:.1f}s wall")
     rc = 0
+    if args.check_consistency and not result.check_report.clean:
+        rc = 1
     if args.trace_out and not _write_trace(result, args.trace_out):
         rc = 1
     if args.profile:
         _print_profile(result)
     return rc
+
+
+def _cmd_check(args) -> int:
+    """Certify apps: in-run HB sanitizer + cross-protocol memory oracle."""
+    import json as _json
+
+    from repro.check.oracle import (DivergenceReport, compare_images,
+                                    run_with_image)
+    from repro.memory.layout import Layout
+    from repro.sync.objects import SyncRegistry
+
+    apps = args.apps or list(APP_NAMES)
+    unknown = [a for a in apps if a not in APP_NAMES]
+    if unknown:
+        print(f"error: unknown app(s) {', '.join(unknown)}; "
+              f"choose from {', '.join(APP_NAMES)}", file=sys.stderr)
+        return 2
+    doc = {"scale": args.scale, "seed": args.seed, "runs": []}
+    oracle_images = {}
+    failed = 0
+    for app_name in apps:
+        for protocol in args.protocols:
+            config = _make_config(args, check_consistency=True)
+            app = make_app(app_name, args.scale)
+            # the sanitizer + oracle ARE the validation here: the app's own
+            # coarse check() would abort a broken run with a stack trace
+            # instead of letting the violation report localize the bug
+            result, image = run_with_image(app, protocol, config=config,
+                                           check=False)
+            rep = result.check_report
+            entry = {"app": app_name, "protocol": protocol,
+                     "check": rep.to_dict()}
+            ok = rep.clean
+            div = None
+            if args.oracle:
+                oracle_image = oracle_images.get(app_name)
+                if oracle_image is None:
+                    _o, oracle_image = run_with_image(
+                        make_app(app_name, args.scale), "sc",
+                        config=SimConfig(update_set_size=args.update_set_size,
+                                         seed=args.seed))
+                    oracle_images[app_name] = oracle_image
+                layout = Layout(config.machine.words_per_page)
+                sync = SyncRegistry(config.machine.num_procs)
+                make_app(app_name, args.scale).declare(layout, sync)
+                div = DivergenceReport(app=app_name, protocol=protocol,
+                                       oracle_protocol="sc", seed=config.seed)
+                compare_images(image, oracle_image, layout, div,
+                               volatile=tuple(app.volatile_segments))
+                entry["divergence"] = div.to_dict()
+                ok = ok and div.clean
+            doc["runs"].append(entry)
+            failed += 0 if ok else 1
+            status = "ok  " if ok else "FAIL"
+            print(f"{status} {app_name:<10} {protocol:<9} {rep.summary()}")
+            if not rep.clean:
+                for v in (rep.violations if args.verbose
+                          else rep.violations[:10]):
+                    print(f"       {v.describe()}")
+            if div is not None and not div.clean:
+                print("       " + div.summary().replace("\n", "\n       "))
+    doc["failed_runs"] = failed
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            _json.dump(doc, fh, indent=2, sort_keys=True)
+        print(f"violation report written to {args.json}")
+    total = len(doc["runs"])
+    print(f"checked {total} runs: {total - failed} clean, {failed} failed")
+    return 1 if failed else 0
 
 
 def _cmd_compare(args) -> int:
@@ -162,14 +249,31 @@ def _cmd_sweep(args) -> int:
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    if args.check_consistency:
+        # the flag is a first-class SimConfig field, so rebuilding the spec
+        # changes its cache key: checker-on cells never alias checker-off
+        specs = [sw.RunSpec(s.app, s.scale, s.protocol,
+                            s.config.replace(check_consistency=True), s.check)
+                 for s in specs]
     def _to_stderr(msg):
         print(msg, file=sys.stderr)
     report = sw.run_sweep(specs, jobs=args.jobs, cache_dir=args.cache_dir,
                           progress=_to_stderr if args.verbose else None)
     print(report.summary())
+    dirty = 0
+    if args.check_consistency:
+        for spec in report.specs:
+            rep = report.results.get(spec.key)
+            rep = rep.check_report if rep is not None else None
+            if rep is not None and not rep.clean:
+                dirty += 1
+                print(f"  VIOLATIONS {spec.label}: {rep.summary()}",
+                      file=sys.stderr)
+        if not dirty and not report.failures:
+            print("all cells consistency-clean")
     for label, error in report.failures:
         print(f"  FAILED {label}: {error}", file=sys.stderr)
-    return 1 if report.failures else 0
+    return 1 if (report.failures or dirty) else 0
 
 
 def _cmd_cache(args) -> int:
@@ -182,11 +286,13 @@ def _cmd_cache(args) -> int:
         print(f"cache at {cache.root} is empty")
         return 0
     print(f"cache at {cache.root}: {len(entries)} cells")
+    current = sw.provenance()
     hdr = (f"{'key':<12} {'app':<10} {'scale':<6} {'protocol':<9} "
            f"{'procs':>5} {'seed':>5} {'|U|':>3} {'chk':>3} "
-           f"{'Mcycles':>10} {'KiB':>8}")
+           f"{'Mcycles':>10} {'KiB':>8} {'build':<6}")
     print(hdr)
     print("-" * len(hdr))
+    stale = 0
     for doc in entries:
         spec = doc.get("spec", {})
         config = spec.get("config", {})
@@ -194,13 +300,28 @@ def _cmd_cache(args) -> int:
         result = doc.get("result", {})
         mcy = result.get("execution_time", 0.0) / 1e6
         kib = doc.get("payload_bytes", 0) / 1024.0
+        prov = doc.get("provenance")
+        if prov is None:
+            build = "?"
+            stale += 1
+        elif prov == current:
+            build = "ok"
+        else:
+            build = "STALE"
+            stale += 1
         print(f"{doc['key'][:12]:<12} {spec.get('app', '?'):<10} "
               f"{spec.get('scale', '?'):<6} {spec.get('protocol', '?'):<9} "
               f"{machine.get('num_procs', '?'):>5} "
               f"{config.get('seed', '?'):>5} "
               f"{config.get('update_set_size', '?'):>3} "
               f"{'y' if spec.get('check') else 'n':>3} "
-              f"{mcy:>10.2f} {kib:>8.1f}")
+              f"{mcy:>10.2f} {kib:>8.1f} {build:<6}")
+    if stale:
+        rev = current.get("git_rev") or "unknown"
+        print(f"{stale} entries were not produced by this build "
+              f"(repro {current.get('repro_version')} @ {rev}); "
+              f"results may predate protocol changes — "
+              f"use 'repro cache clear' to force re-runs")
     return 0
 
 
@@ -268,7 +389,31 @@ def build_parser() -> argparse.ArgumentParser:
                           "(implies --trace)")
     run.add_argument("--profile", action="store_true",
                      help="wall-clock profile of the simulator hot loop")
+    run.add_argument("--check-consistency", action="store_true",
+                     help="run the happens-before sanitizer alongside the "
+                          "simulation (nonzero exit on violations)")
     run.set_defaults(fn=_cmd_run)
+
+    chk = sub.add_parser(
+        "check",
+        help="certify apps: HB sanitizer + cross-protocol memory oracle")
+    # no argparse choices= here: empty nargs="*" defaults trip choice
+    # validation on some 3.x releases; _cmd_check validates instead
+    chk.add_argument("apps", nargs="*", metavar="APP",
+                     help=f"apps to certify (default: all of "
+                          f"{', '.join(APP_NAMES)})")
+    chk.add_argument("--protocols", nargs="+", choices=sorted(PROTOCOLS),
+                     default=["aec", "tmk"])
+    chk.add_argument("--scale", choices=SCALES, default="test")
+    chk.add_argument("--update-set-size", type=int, default=2)
+    chk.add_argument("--seed", type=int, default=42)
+    chk.add_argument("--no-oracle", dest="oracle", action="store_false",
+                     help="skip the SC divergence oracle (sanitizer only)")
+    chk.add_argument("--json", metavar="FILE",
+                     help="write the full violation report as JSON")
+    chk.add_argument("--verbose", "-v", action="store_true",
+                     help="print every violation, not just the first few")
+    chk.set_defaults(fn=_cmd_check)
 
     cmp_ = sub.add_parser("compare", help="one app under several protocols")
     cmp_.add_argument("--app", choices=APP_NAMES, required=True)
@@ -338,6 +483,9 @@ def build_parser() -> argparse.ArgumentParser:
                      help="persist results to this content-addressed cache")
     swp.add_argument("--verbose", "-v", action="store_true",
                      help="print per-cell progress to stderr")
+    swp.add_argument("--check-consistency", action="store_true",
+                     help="run every cell with the happens-before sanitizer "
+                          "(distinct cache keys; nonzero exit on violations)")
     swp.set_defaults(fn=_cmd_sweep)
 
     cch = sub.add_parser("cache", help="inspect or clear a sweep disk cache")

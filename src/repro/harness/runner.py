@@ -102,6 +102,7 @@ def run_app(app: Application, protocol: str = "aec",
     fin0 = time.perf_counter()
     for node in nodes:
         node.finalize()
+    check_report = world.checker.finish()
     if check:
         app.check(results)
     world.obs.finish(execution_time)
@@ -137,6 +138,7 @@ def run_app(app: Application, protocol: str = "aec",
         wall_seconds=wall,
         metrics=metrics_snapshot,
         profile=profiler.as_dict() if profiler is not None else None,
+        check_report=check_report,
         clock_hz=machine.clock_hz,
         extra={
             "lock_vars": [(lv.lock_id, lv.name, lv.group)

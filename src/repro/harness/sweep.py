@@ -27,10 +27,11 @@ import json
 import multiprocessing
 import os
 import pickle
+import subprocess
 import tempfile
 import time
 from dataclasses import dataclass, field
-from functools import cached_property
+from functools import cached_property, lru_cache
 from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.apps.registry import make_app
@@ -42,6 +43,30 @@ from repro.stats.run_result import RunResult
 #: part of every cache key, so old entries miss instead of deserializing
 #: into garbage.
 CACHE_FORMAT_VERSION = 1
+
+
+@lru_cache(maxsize=1)
+def provenance() -> Dict[str, Optional[str]]:
+    """Which code produced a result: package version + git revision.
+
+    Written into every cache metadata sidecar so ``repro cache inspect``
+    can flag entries produced by a different build — cache *keys* only
+    cover the configuration, so a protocol change silently keeps stale
+    entries valid unless the provenance makes the mismatch visible.
+    """
+    import repro
+    rev: Optional[str] = None
+    try:
+        root = os.path.dirname(os.path.abspath(repro.__file__))
+        proc = subprocess.run(["git", "rev-parse", "--short", "HEAD"],
+                              cwd=root, capture_output=True, text=True,
+                              timeout=5)
+        if proc.returncode == 0:
+            rev = proc.stdout.strip() or None
+    except (OSError, subprocess.SubprocessError):
+        rev = None
+    return {"repro_version": getattr(repro, "__version__", None),
+            "git_rev": rev}
 
 
 # --------------------------------------------------------------- RunSpec
@@ -168,7 +193,8 @@ class DiskCache:
         payload = result.sanitized()
         self._write_atomic(pkl, pickle.dumps(
             payload, protocol=pickle.HIGHEST_PROTOCOL))
-        doc = {"spec": spec.canonical(), "result": payload.meta()}
+        doc = {"spec": spec.canonical(), "result": payload.meta(),
+               "provenance": provenance()}
         self._write_atomic(meta, json.dumps(
             doc, indent=2, sort_keys=True).encode("utf-8"))
 

@@ -17,7 +17,7 @@ host, not the simulation) and is enabled by ``SimConfig(profile=True)``.
 """
 from __future__ import annotations
 
-from typing import Any, Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.obs.export import JsonlSink
 from repro.obs.metrics import (Counter, Gauge, Histogram, MetricsRegistry,
@@ -31,6 +31,9 @@ __all__ = [
     "Counter", "Gauge", "Histogram", "SpanRecorder", "NullSpanRecorder",
     "Span", "SPAN_KINDS", "Profiler", "NullProfiler", "JsonlSink",
 ]
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.config import SimConfig
 
 _NULL_METRICS = NullMetricsRegistry()
 _NULL_SPANS = NullSpanRecorder()
@@ -53,19 +56,21 @@ class Observability:
         return self.metrics.enabled or self.spans.enabled
 
     @classmethod
-    def from_config(cls, config: Any) -> "Observability":
-        """Build from ``SimConfig`` flags (null instruments when off)."""
-        metrics = (MetricsRegistry()
-                   if getattr(config, "obs_metrics", False) else None)
+    def from_config(cls, config: "SimConfig") -> "Observability":
+        """Build from ``SimConfig`` flags (null instruments when off).
+
+        The ``obs_*`` knobs are first-class ``SimConfig`` fields — read
+        directly, never through ``getattr`` fallbacks, so an undeclared
+        field is a loud ``AttributeError`` instead of a flag that silently
+        escapes the canonical config digest.
+        """
+        metrics = MetricsRegistry() if config.obs_metrics else None
         spans: Optional[SpanRecorder] = None
         sink: Optional[JsonlSink] = None
-        if getattr(config, "obs_spans", False):
-            jsonl = getattr(config, "obs_spans_jsonl", None)
-            if jsonl:
-                sink = JsonlSink(jsonl)
-            spans = SpanRecorder(
-                capacity=getattr(config, "obs_span_capacity", None),
-                sink=sink)
+        if config.obs_spans:
+            if config.obs_spans_jsonl:
+                sink = JsonlSink(config.obs_spans_jsonl)
+            spans = SpanRecorder(capacity=config.obs_span_capacity, sink=sink)
         return cls(metrics, spans, sink)
 
     def finish(self, at: float) -> None:

@@ -40,9 +40,11 @@ class World:
         self.nodes: List["ProtocolNode"] = []
         from repro.stats.trace import NullTrace, Trace
         self.trace = (Trace(capacity=config.trace_capacity)
-                      if getattr(config, "trace", False) else NullTrace())
+                      if config.trace else NullTrace())
         from repro.obs import Observability
         self.obs = Observability.from_config(config)
+        from repro.check import make_checker
+        self.checker = make_checker(config, layout, self.machine.num_procs)
         self.diff_stats = DiffStats(num_procs=self.machine.num_procs)
         self.lap_stats: Optional[Any] = None  # set by protocols that track LAP
         #: acquire counts per lock id (granted acquires, Table 2 / Table 3)
@@ -216,6 +218,10 @@ class ProtocolNode:
         end = self.now()
         diff.apply(page)
         self.hw.page_updated(self.page_addr(pn), self.page_words())
+        checker = self.world.checker
+        if checker.enabled:
+            checker.note_transfer("diff", dst=self.node_id, page=pn,
+                                  origin=diff.origin, time=end)
         hidden = self._hidden_portion(start, end, cycles, hidden_behind)
         self.world.diff_stats.record_apply(cycles, hidden)
         spans = self.obs.spans
@@ -248,7 +254,11 @@ class ProtocolNode:
         yield Delay(cost.busy, "busy")
         if cost.others:
             yield Delay(cost.others, "others")
-        return self.store.read(addr, nwords)
+        data = self.store.read(addr, nwords)
+        checker = self.world.checker
+        if checker.enabled:
+            checker.on_read(self.node_id, addr, data, self.now())
+        return data
 
     def write(self, addr: int, values: np.ndarray) -> Generator:
         """Application-level ranged write.
@@ -279,7 +289,11 @@ class ProtocolNode:
                 yield Delay(cost.others, "others")
             if all(self.pages[pn].valid and self.pages[pn].writable
                    for pn in pages):
-                self.store.write(addr, np.asarray(values, dtype=np.float64))
+                data = np.asarray(values, dtype=np.float64)
+                self.store.write(addr, data)
+                checker = self.world.checker
+                if checker.enabled:
+                    checker.on_write(self.node_id, addr, data, self.now())
                 return
 
     def _timed_fault(self, pn: int, is_write: bool) -> Generator:

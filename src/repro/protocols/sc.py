@@ -52,11 +52,19 @@ class SCNode(ProtocolNode):
 
     def read(self, addr: int, nwords: int) -> Generator:
         yield Delay(float(nwords), "busy")
-        return self.store.read(addr, nwords)
+        data = self.store.read(addr, nwords)
+        checker = self.world.checker
+        if checker.enabled:
+            checker.on_read(self.node_id, addr, data, self.now())
+        return data
 
     def write(self, addr: int, values: np.ndarray) -> Generator:
         yield Delay(float(len(values)), "busy")
-        self.store.write(addr, np.asarray(values, dtype=np.float64))
+        data = np.asarray(values, dtype=np.float64)
+        self.store.write(addr, data)
+        checker = self.world.checker
+        if checker.enabled:
+            checker.on_write(self.node_id, addr, data, self.now())
 
     # ---- synchronization: central, zero latency ---------------------------
 

@@ -45,7 +45,7 @@ class TreadMarksNode(ProtocolNode):
         super().__init__(world, node_id)
         P = self.machine.num_procs
         cfg = world.config
-        self.lazy_hybrid = getattr(cfg, "tm_lazy_hybrid", False)
+        self.lazy_hybrid = cfg.tm_lazy_hybrid
         self.vc: List[int] = [0] * P
         self.lamport = 0
         #: pages modified during the currently open interval
@@ -201,6 +201,10 @@ class TreadMarksNode(ProtocolNode):
                 self.span_end(fetch_span)
                 self.store.ensure(pn, reply["content"])
                 self.hw.page_updated(self.page_addr(pn), self.page_words())
+                checker = self.world.checker
+                if checker.enabled:
+                    checker.note_transfer("page", dst=self.node_id, page=pn,
+                                          origin=0, time=self.now())
                 for w, stamp in reply["applied"].items():
                     if stamp > meta.applied.get(w, -1):
                         meta.applied[w] = stamp
@@ -257,6 +261,10 @@ class TreadMarksNode(ProtocolNode):
             if meta.twin is not None:
                 meta.twin[offs] = diff.values[mask]
             self.hw.page_updated(self.page_addr(pn), self.page_words())
+        checker = self.world.checker
+        if checker.enabled:
+            checker.note_transfer("diff", dst=self.node_id, page=pn,
+                                  origin=diff.origin, time=self.now())
         self.world.diff_stats.record_apply(cycles, 0.0)
 
     # ------------------------------------------------------- diff servicing

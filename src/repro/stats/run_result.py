@@ -37,6 +37,9 @@ class RunResult:
     metrics: Optional[Any] = None
     #: wall-clock profiler report, name -> {calls, seconds} (None when off)
     profile: Optional[Dict[str, Dict[str, float]]] = None
+    #: consistency checker outcome (``check.CheckReport``; None when
+    #: ``check_consistency`` is off)
+    check_report: Optional[Any] = None
     #: simulated clock frequency (for cycles -> seconds conversions)
     clock_hz: float = 100e6
     extra: Dict[str, Any] = field(default_factory=dict)
@@ -70,6 +73,8 @@ class RunResult:
             "barrier_events": self.barrier_events,
             "lock_acquires_total": self.total_lock_acquires,
             "wall_seconds": self.wall_seconds,
+            "check_violations": (self.check_report.total_violations
+                                 if self.check_report is not None else None),
         }
 
     @property

@@ -1,0 +1,445 @@
+"""Tests for repro.check: HB sanitizer, divergence oracle, CLI surface.
+
+Covers the acceptance contract of the checker subsystem:
+
+* unit-level vector-clock / shadow-memory semantics (scripted events, no
+  simulation),
+* zero violations AND word-identical final memory vs the SC oracle for
+  every registered app at test scale under AEC and TreadMarks (two seeds),
+* a deliberately broken AEC variant (skips one diff apply on acquire) is
+  detected as a stale read on the correct page,
+* checker flags flow into the canonical config / cache keys,
+* the ``repro check`` CLI and cache provenance stamping.
+"""
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.apps.api import Application
+from repro.apps.registry import APP_NAMES, make_app
+from repro.check import (CheckReport, ConsistencyChecker, NullChecker,
+                         make_checker)
+from repro.check.oracle import (DivergenceReport, compare_images,
+                                run_with_image)
+from repro.config import MachineParams, SimConfig, canonical_config_dict, \
+    config_digest
+from repro.core.aec.protocol import AECNode
+from repro.harness import sweep as sw
+from repro.harness.cli import main as cli_main
+from repro.harness.runner import PROTOCOLS, run_app
+from repro.memory.layout import Layout
+from repro.sync.objects import SyncRegistry
+
+
+def _checker(num_procs=4, segments=(("data", 2048),)):
+    machine = MachineParams(num_procs=num_procs)
+    config = SimConfig(machine=machine, check_consistency=True)
+    layout = Layout(machine.words_per_page)
+    for name, n in segments:
+        layout.allocate(name, n)
+    return ConsistencyChecker(config, layout, num_procs)
+
+
+def _arr(*values):
+    return np.asarray(values, dtype=np.float64)
+
+
+class TestCheckerUnits:
+    def test_factory_returns_null_when_off(self):
+        machine = MachineParams(num_procs=4)
+        layout = Layout(machine.words_per_page)
+        ck = make_checker(SimConfig(machine=machine), layout, 4)
+        assert isinstance(ck, NullChecker)
+        assert not ck.enabled
+        assert ck.finish() is None
+
+    def test_unordered_writes_race(self):
+        ck = _checker()
+        ck.on_write(0, 0, _arr(1.0), 10.0)
+        ck.on_write(1, 0, _arr(2.0), 20.0)
+        rep = ck.finish()
+        assert rep.counts == {"race:ww": 1}
+        v = rep.violations[0]
+        assert (v.kind, v.node, v.other_node, v.addr) == ("race:ww", 1, 0, 0)
+        assert v.segment == "data"
+
+    def test_lock_ordered_writes_do_not_race(self):
+        ck = _checker()
+        ck.on_acquire(0, 0)
+        ck.on_write(0, 0, _arr(1.0), 10.0)
+        ck.on_release(0, 0)
+        ck.on_acquire(1, 0)
+        ck.on_write(1, 0, _arr(2.0), 20.0)
+        ck.on_release(1, 0)
+        assert ck.finish().clean
+
+    def test_unordered_read_after_write_races(self):
+        ck = _checker()
+        ck.on_write(0, 5, _arr(1.0), 10.0)
+        ck.on_read(1, 5, _arr(1.0), 20.0)
+        rep = ck.finish()
+        assert rep.counts == {"race:wr": 1}
+        assert rep.violations[0].op == "read"
+
+    def test_unordered_write_after_read_races(self):
+        ck = _checker()
+        ck.on_read(1, 5, _arr(0.0), 10.0)
+        ck.on_write(0, 5, _arr(1.0), 20.0)
+        rep = ck.finish()
+        assert rep.counts == {"race:rw": 1}
+        assert rep.violations[0].other_op == "read"
+        assert rep.violations[0].other_node == 1
+
+    def test_barrier_orders_all_nodes(self):
+        ck = _checker()
+        ck.on_write(0, 0, _arr(1.0), 10.0)
+        for n in range(4):
+            ck.on_barrier_arrive(n)
+        for n in range(4):
+            ck.on_barrier_depart(n)
+        ck.on_read(3, 0, _arr(1.0), 20.0)
+        ck.on_write(2, 0, _arr(2.0), 30.0)
+        rep = ck.finish()
+        # the write by 2 races with the read by 3 (same episode, unordered)
+        assert rep.counts == {"race:rw": 1}
+
+    def test_barrier_episodes_pipeline(self):
+        """A node racing ahead into barrier k+1 must not join episode k+1
+        arrivals with stragglers still departing episode k."""
+        ck = _checker(num_procs=2)
+        for n in range(2):
+            ck.on_barrier_arrive(n)
+        ck.on_barrier_depart(0)
+        ck.on_write(0, 0, _arr(1.0), 10.0)
+        ck.on_barrier_arrive(0)   # node 0 already arrives at episode 1
+        ck.on_barrier_depart(1)   # node 1 only now departs episode 0
+        ck.on_read(1, 0, _arr(0.0), 20.0)
+        rep = ck.finish()
+        # node 0's write is in episode 1: unordered with node 1's read, and
+        # node 1 legitimately still sees the old value -> race, not stale
+        assert rep.counts == {"race:wr": 1}
+
+    def test_hb_ordered_wrong_value_is_stale_read(self):
+        ck = _checker()
+        ck.on_acquire(0, 0)
+        ck.on_write(0, 7, _arr(42.0), 10.0)
+        ck.on_release(0, 0)
+        ck.on_acquire(1, 0)
+        ck.on_read(1, 7, _arr(0.0), 20.0)  # ordered, but missed the write
+        rep = ck.finish()
+        assert rep.counts == {"stale-read": 1}
+        v = rep.violations[0]
+        assert v.kind == "stale-read"
+        assert (v.expected, v.observed) == (42.0, 0.0)
+        assert v.page == 0 and v.addr == 7
+        assert v.lock == 0 and v.other_lock == 0
+
+    def test_correct_value_after_lock_chain_is_clean(self):
+        ck = _checker()
+        ck.on_acquire(0, 0)
+        ck.on_write(0, 7, _arr(42.0), 10.0)
+        ck.on_release(0, 0)
+        ck.on_acquire(1, 0)
+        ck.on_read(1, 7, _arr(42.0), 20.0)
+        ck.on_release(1, 0)
+        assert ck.finish().clean
+
+    def test_racy_words_suppress_stale_reports(self):
+        ck = _checker()
+        ck.on_write(0, 0, _arr(1.0), 10.0)
+        ck.on_write(1, 0, _arr(2.0), 20.0)   # race -> word marked racy
+        for n in range(4):
+            ck.on_barrier_arrive(n)
+        for n in range(4):
+            ck.on_barrier_depart(n)
+        # whichever value survived, no stale-read on a racy word
+        ck.on_read(2, 0, _arr(1.0), 30.0)
+        rep = ck.finish()
+        assert rep.counts == {"race:ww": 1}
+
+    def test_report_cap_truncates_list_not_counts(self):
+        machine = MachineParams(num_procs=4)
+        layout = Layout(machine.words_per_page)
+        layout.allocate("data", 2048)
+        config = SimConfig(machine=machine, check_consistency=True,
+                           check_max_reports=3)
+        ck = ConsistencyChecker(config, layout, 4)
+        ck.on_write(0, 0, np.ones(10), 10.0)
+        ck.on_write(1, 0, np.full(10, 2.0), 20.0)
+        rep = ck.finish()
+        assert rep.counts["race:ww"] == 10
+        assert len(rep.violations) == 3
+        assert rep.truncated
+        assert rep.total_violations == 10
+
+    def test_transfer_notes_attach_context(self):
+        ck = _checker()
+        ck.note_transfer("diff", dst=1, page=0, origin=0, time=5.0)
+        ck.on_write(0, 0, _arr(1.0), 10.0)
+        ck.on_read(1, 0, _arr(1.0), 20.0)
+        rep = ck.finish()
+        assert rep.transfers == {"diff": 1}
+        assert rep.violations[0].last_transfer == ("diff", 0, 5.0)
+
+    def test_report_roundtrips_to_json(self):
+        ck = _checker()
+        ck.on_write(0, 3, _arr(1.0), 10.0)
+        ck.on_write(1, 3, _arr(2.0), 20.0)
+        doc = json.loads(ck.finish().to_json())
+        assert doc["total_violations"] == 1
+        assert doc["violations"][0]["kind"] == "race:ww"
+        assert doc["violations"][0]["addr"] == 3
+
+
+# --------------------------------------------------------------- end to end
+
+#: (protocol, seed) matrix certified against the SC oracle
+CERT_PROTOCOLS = ("aec", "tmk")
+CERT_SEEDS = (42, 7)
+
+
+class TestAppsAreClean:
+    """Every registered app: zero violations and SC-identical final memory."""
+
+    @pytest.mark.parametrize("app_name", APP_NAMES)
+    def test_app_clean_and_matches_sc_oracle(self, app_name):
+        for seed in CERT_SEEDS:
+            config = SimConfig(seed=seed, check_consistency=True)
+            _r, sc_image = run_with_image(
+                make_app(app_name, "test"), "sc",
+                config=SimConfig(seed=seed))
+            layout = Layout(config.machine.words_per_page)
+            sync = SyncRegistry(config.machine.num_procs)
+            app = make_app(app_name, "test")
+            app.declare(layout, sync)
+            for protocol in CERT_PROTOCOLS:
+                result, image = run_with_image(
+                    make_app(app_name, "test"), protocol, config=config)
+                rep = result.check_report
+                assert rep is not None and rep.clean, (
+                    f"{app_name}/{protocol}/seed={seed}: {rep.summary()}\n"
+                    + "\n".join(v.describe() for v in rep.violations[:10]))
+                div = DivergenceReport(app=app_name, protocol=protocol,
+                                       oracle_protocol="sc", seed=seed)
+                compare_images(image, sc_image, layout, div,
+                               volatile=tuple(app.volatile_segments))
+                assert div.clean, (
+                    f"{app_name}/{protocol}/seed={seed}:\n{div.summary()}")
+                assert div.words_compared > 0
+
+
+# ------------------------------------------------- broken-protocol detection
+
+class BrokenAECNode(AECNode):
+    """AEC with one post-grant diff apply silently skipped (test-only).
+
+    The skipped apply is the in-update-set diff applied right after a lock
+    grant (category ``synch`` with the lock already held) — the only apply
+    path with no fault-time healing, so its loss MUST surface as a stale
+    read inside the next critical section.
+    """
+
+    def __init__(self, world, node_id):
+        super().__init__(world, node_id)
+        world.broken_skips = getattr(world, "broken_skips", [])
+
+    def _apply_cs_diff(self, pn, diff, category, hidden_behind=None):
+        if (not self.world.broken_skips and diff.nwords
+                and category == "synch" and self.locks_held):
+            self.world.broken_skips.append((self.node_id, pn))
+            return
+        yield from super()._apply_cs_diff(pn, diff, category, hidden_behind)
+
+
+class CounterApp(Application):
+    """P procs increment one lock-protected counter; monotonic by design,
+    so a lost diff guarantees a value mismatch at the next ordered read."""
+
+    name = "counter"
+
+    def __init__(self, increments=8):
+        self.increments = increments
+
+    def declare(self, layout, sync):
+        self.seg = layout.allocate("counter", 8)
+        self.lock = sync.new_lock("L")
+        self.bar = sync.new_barrier("B")
+
+    def program(self, ctx):
+        for _ in range(self.increments):
+            yield from ctx.acquire(self.lock)
+            v = yield from ctx.read1(self.seg, 0)
+            yield from ctx.write1(self.seg, 0, v + 1)
+            yield from ctx.release(self.lock)
+        yield from ctx.barrier(self.bar)
+        return (yield from ctx.read1(self.seg, 0))
+
+    def check(self, results):
+        expected = float(self.increments * len(results))
+        assert all(r == expected for r in results), results
+
+
+@pytest.fixture
+def broken_aec_protocol():
+    PROTOCOLS["aec-broken"] = (lambda w, n: BrokenAECNode(w, n),
+                               {"use_lap": True})
+    try:
+        yield "aec-broken"
+    finally:
+        del PROTOCOLS["aec-broken"]
+
+
+class TestBrokenProtocolDetected:
+    def test_healthy_counter_is_clean(self):
+        r = run_app(CounterApp(), "aec", SimConfig(check_consistency=True))
+        assert r.check_report.clean
+
+    def test_skipped_diff_apply_detected_as_stale_read(
+            self, broken_aec_protocol):
+        app = CounterApp()
+        r = run_app(app, broken_aec_protocol,
+                    SimConfig(check_consistency=True), check=False)
+        rep = r.check_report
+        assert not rep.clean
+        assert set(rep.counts) == {"stale-read"}
+        counter_page = app.seg.base // app.seg.words_per_page
+        v = rep.violations[0]
+        assert v.page == counter_page
+        assert v.segment == "counter"
+        assert v.expected != v.observed
+        assert v.lock == app.lock  # read inside the counter's CS
+        # the lost increment is real: final counts fall short
+        expected = float(app.increments * r.num_procs)
+        assert any(res != expected for res in r.app_results)
+
+    def test_broken_protocol_also_diverges_from_sc(self, broken_aec_protocol):
+        app = CounterApp()
+        config = SimConfig()
+        _r, image = run_with_image(CounterApp(), broken_aec_protocol,
+                                   config=config, check=False)
+        _o, sc_image = run_with_image(CounterApp(), "sc", config=config)
+        layout = Layout(config.machine.words_per_page)
+        sync = SyncRegistry(config.machine.num_procs)
+        app.declare(layout, sync)
+        div = compare_images(image, sc_image, layout,
+                             DivergenceReport(app="counter",
+                                              protocol="aec-broken",
+                                              oracle_protocol="sc", seed=42))
+        assert not div.clean
+        assert div.first_divergent_page == app.seg.base // \
+            app.seg.words_per_page
+
+
+# -------------------------------------------------- config / result plumbing
+
+class TestPlumbing:
+    def test_checker_flags_flow_into_canonical_config(self):
+        on = SimConfig(check_consistency=True)
+        off = SimConfig()
+        assert canonical_config_dict(on)["check_consistency"] is True
+        assert "check_max_reports" in canonical_config_dict(on)
+        assert config_digest(on) != config_digest(off)
+
+    def test_checker_flag_changes_sweep_cache_key(self):
+        a = sw.make_spec("is", "test", "aec")
+        b = sw.make_spec("is", "test", "aec", check_consistency=True)
+        assert a.key != b.key
+
+    def test_check_report_off_by_default(self):
+        r = run_app(make_app("is", "test"), "aec")
+        assert r.check_report is None
+        assert r.meta()["check_violations"] is None
+
+    def test_check_report_in_meta_and_survives_sanitize(self):
+        r = run_app(make_app("is", "test"), "aec",
+                    SimConfig(check_consistency=True))
+        assert r.meta()["check_violations"] == 0
+        assert r.sanitized().check_report is r.check_report
+
+    def test_checker_does_not_change_simulated_time(self):
+        base = run_app(make_app("is", "test"), "aec", SimConfig())
+        checked = run_app(make_app("is", "test"), "aec",
+                          SimConfig(check_consistency=True))
+        assert checked.execution_time == base.execution_time
+        assert checked.messages_total == base.messages_total
+
+
+# ---------------------------------------------------------------------- CLI
+
+class TestCheckCli:
+    def test_check_subcommand_clean(self, tmp_path, capsys):
+        out = tmp_path / "report.json"
+        rc = cli_main(["check", "is", "--protocols", "aec", "--scale", "test",
+                       "--json", str(out)])
+        assert rc == 0
+        doc = json.loads(out.read_text())
+        assert doc["failed_runs"] == 0
+        assert doc["runs"][0]["check"]["clean"] is True
+        assert doc["runs"][0]["divergence"]["clean"] is True
+        assert "clean" in capsys.readouterr().out
+
+    def test_check_subcommand_rejects_unknown_app(self, capsys):
+        assert cli_main(["check", "no-such-app"]) == 2
+
+    def test_check_subcommand_fails_on_violations(
+            self, broken_aec_protocol, tmp_path, capsys, monkeypatch):
+        # certify the counter app through the CLI path against the broken
+        # protocol: nonzero exit and the JSON report names the stale read
+        import repro.harness.cli as cli
+        monkeypatch.setattr(cli, "APP_NAMES", ("counter",))
+        monkeypatch.setattr(
+            cli, "make_app", lambda name, scale: CounterApp())
+        out = tmp_path / "report.json"
+        rc = cli_main(["check", "counter", "--protocols", broken_aec_protocol,
+                       "--no-oracle", "--json", str(out)])
+        assert rc == 1
+        doc = json.loads(out.read_text())
+        assert doc["failed_runs"] == 1
+        kinds = {v["kind"] for run in doc["runs"]
+                 for v in run["check"]["violations"]}
+        assert kinds == {"stale-read"}
+
+    def test_run_subcommand_check_flag(self, capsys):
+        rc = cli_main(["run", "--app", "is", "--protocol", "aec",
+                       "--scale", "test", "--check-consistency"])
+        assert rc == 0
+        assert "consistency check: clean" in capsys.readouterr().out
+
+
+# ----------------------------------------------------------- cache metadata
+
+class TestCacheProvenance:
+    def test_sidecar_records_provenance(self, tmp_path):
+        cache = sw.DiskCache(str(tmp_path))
+        spec = sw.make_spec("is", "test", "aec")
+        cache.store(spec, sw.execute_spec(spec))
+        doc = cache.entries()[0]
+        assert doc["provenance"] == sw.provenance()
+        assert "repro_version" in doc["provenance"]
+
+    def test_cache_inspect_flags_foreign_build(self, tmp_path, capsys):
+        cache = sw.DiskCache(str(tmp_path))
+        spec = sw.make_spec("is", "test", "aec")
+        cache.store(spec, sw.execute_spec(spec))
+        _pkl, meta = cache._paths(spec.key)
+        doc = json.loads(open(meta).read())
+        doc["provenance"] = {"repro_version": "0.0.0", "git_rev": "deadbee"}
+        with open(meta, "w") as fh:
+            json.dump(doc, fh)
+        rc = cli_main(["cache", "inspect", "--cache-dir", str(tmp_path)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "STALE" in out
+        assert "1 entries were not produced by this build" in out
+
+    def test_cache_inspect_current_build_ok(self, tmp_path, capsys):
+        cache = sw.DiskCache(str(tmp_path))
+        spec = sw.make_spec("is", "test", "aec")
+        cache.store(spec, sw.execute_spec(spec))
+        rc = cli_main(["cache", "inspect", "--cache-dir", str(tmp_path)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "STALE" not in out
+        assert "not produced by this build" not in out

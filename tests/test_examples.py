@@ -1,0 +1,39 @@
+"""Smoke test: every script in examples/ runs end to end, in-process.
+
+The examples are the public face of the API (``Application``, ``run_app``,
+``make_app``); running them at their default tiny/test scale makes API
+drift in ``apps/api.py`` / the harness break CI instead of users.
+"""
+import os
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")
+EXAMPLES = sorted(
+    name for name in os.listdir(EXAMPLES_DIR) if name.endswith(".py"))
+
+#: a fragment each example must print (guards against silently-empty runs)
+EXPECTED_OUTPUT = {
+    "quickstart.py": "exec time",
+    "protocol_comparison.py": "TreadMarks = 100",
+    "lock_prediction_study.py": "round-robin",
+    "custom_application.py": "histogram",
+}
+
+
+def test_every_example_is_covered():
+    assert set(EXAMPLES) == set(EXPECTED_OUTPUT), (
+        "examples/ changed: update EXPECTED_OUTPUT in this test")
+
+
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_runs(script, monkeypatch, capsys):
+    path = os.path.join(EXAMPLES_DIR, script)
+    # pin argv: examples with argparse must run on their tiny defaults
+    monkeypatch.setattr(sys, "argv", [path])
+    runpy.run_path(path, run_name="__main__")
+    out = capsys.readouterr().out
+    assert EXPECTED_OUTPUT[script].lower() in out.lower(), (
+        f"{script} produced unexpected output:\n{out[:2000]}")
