@@ -11,7 +11,10 @@ import hashlib
 import json
 import math
 from dataclasses import dataclass, field
-from typing import Any, Dict
+from typing import TYPE_CHECKING, Any, Dict, Optional
+
+if TYPE_CHECKING:  # runtime import would cycle: faults.injector imports config
+    from repro.faults.plan import FaultPlan
 
 
 @dataclass(frozen=True)
@@ -42,6 +45,17 @@ class MachineParams:
     switch_cycles: int = 4
     wire_cycles: int = 2
     list_cycles_per_element: int = 6
+    # ---- reliable transport (active only when SimConfig.faults is set) ----
+    #: base NIC retransmission timeout; roughly 2-3x the worst-case RTT of a
+    #: page-sized transfer on a contended 16-node mesh (~15-20k cycles)
+    retrans_timeout_cycles: int = 50_000
+    #: exponential backoff factor between successive retransmissions
+    retrans_backoff: float = 2.0
+    #: retry budget: attempts before the transport fails the run loudly
+    retrans_max_retries: int = 10
+    #: how long an AEC acquirer waits for an eagerly-pushed update set
+    #: before degrading to a LAP miss (fetch the diffs on demand)
+    upset_wait_timeout_cycles: int = 100_000
     #: page twinning: 5 cycles/word + memory accesses
     twin_cycles_per_word: int = 5
     #: diff application / creation: 7 cycles/word + memory accesses
@@ -171,6 +185,13 @@ class SimConfig:
     #: cap on retained ``ViolationReport`` objects (counters keep counting
     #: past the cap; only the structured reports stop accumulating)
     check_max_reports: int = 200
+    #: inject network faults per this plan (``repro.faults``); ``None``
+    #: keeps the perfect network and is the *only* mode whose timing and
+    #: message counts are bit-identical to a faults-free build.  Any plan —
+    #: even an empty one — engages the reliable transport (sequence
+    #: numbers, acks, retransmission) and thus perturbs timing.  Part of
+    #: the canonical config: every distinct plan is a distinct cache key.
+    faults: Optional["FaultPlan"] = None
     #: safety valve: abort runs exceeding this many simulated events
     max_events: int = 50_000_000
 

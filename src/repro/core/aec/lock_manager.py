@@ -12,7 +12,7 @@ routines and only mutates state / returns messages to send.
 """
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.core.lap.predictor import LapPredictor
@@ -35,6 +35,11 @@ class GrantInfo:
     invalidate: List[Tuple[int, int]]
     #: the new owner's update set for its future release
     update_set: List[int]
+    #: pages the last releaser's eager push covered (only populated when
+    #: ``in_update_set``); lets an acquirer whose push was lost in a faulty
+    #: network recover page-by-page via ``aec.cs_diff_req`` instead of
+    #: reading stale memory
+    covered: List[int] = field(default_factory=list)
 
 
 class ManagedLock:
@@ -148,6 +153,7 @@ class AECLockManager:
             in_update_set=in_upset,
             invalidate=invalidate,
             update_set=update_set,
+            covered=sorted(ml.coverage) if in_upset else [],
         )
         return grant, predictions
 

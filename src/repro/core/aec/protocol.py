@@ -530,25 +530,40 @@ class AECNode(ProtocolNode):
                 wait_fut = self.new_future(f"upset{lock_id}")
                 self._upset_expect = (lock_id, grant.last_owner,
                                       grant.last_owner_counter, wait_fut)
+                if self.sim.transport.enabled:
+                    # faulty network: the push is best-effort and may be
+                    # gone — bound the wait, then recover via the fallback
+                    self._arm_upset_timeout(wait_fut)
                 yield Wait(wait_fut, "synch")
                 self._upset_expect = None
                 pu = self.pending_updates.get(lock_id)
-            assert pu is not None
-            # apply remaining diffs for valid pages (now exposed)
-            for pn in sorted(pu.diffs):
-                if pn in pu.applied:
-                    self._absorb_lock_diff(lock_id, pu.diffs[pn])
-                    continue
-                meta = self.page(pn)
-                if meta.valid and self.store.has(pn):
-                    yield from self._apply_cs_diff(pn, pu.diffs[pn], "synch")
-                    if meta.twin is not None:
-                        pu.diffs[pn].apply(meta.twin)
-                    pu.applied.add(pn)
-                    self._absorb_lock_diff(lock_id, pu.diffs[pn])
-                # invalid pages: the buffered diff is applied at fault time
-            self.span_end(pu.span, outcome="used", applied=len(pu.applied))
-            pu.span = 0
+                if pu is not None and (
+                        pu.sender != grant.last_owner
+                        or pu.acquire_counter != grant.last_owner_counter):
+                    pu = None  # something is buffered, but not the push
+            if pu is None:
+                # the eager push was lost in the network: degrade to a LAP
+                # miss instead of reading stale memory (the regular
+                # invalidate loop below then handles the uncovered pages)
+                yield from self._lap_miss_fallback(lock_id, grant)
+            else:
+                # apply remaining diffs for valid pages (now exposed)
+                for pn in sorted(pu.diffs):
+                    if pn in pu.applied:
+                        self._absorb_lock_diff(lock_id, pu.diffs[pn])
+                        continue
+                    meta = self.page(pn)
+                    if meta.valid and self.store.has(pn):
+                        yield from self._apply_cs_diff(pn, pu.diffs[pn],
+                                                       "synch")
+                        if meta.twin is not None:
+                            pu.diffs[pn].apply(meta.twin)
+                        pu.applied.add(pn)
+                        self._absorb_lock_diff(lock_id, pu.diffs[pn])
+                    # invalid pages: the buffered diff is applied at fault
+                    # time
+                self.span_end(pu.span, outcome="used", applied=len(pu.applied))
+                pu.span = 0
         else:
             # stale buffered updates (if any) are now useless
             pu = self.pending_updates.pop(lock_id, None)
@@ -570,6 +585,51 @@ class AECNode(ProtocolNode):
                 self.lost_valid.add(pg)
                 self.gained_valid.discard(pg)
             meta.cs_diff_source = (lock_id, modifier)
+
+    def _arm_upset_timeout(self, fut: Future) -> None:
+        """Bound the wait for an eagerly-pushed update set (faulty mode).
+
+        The push is sent best-effort; if it was dropped, only this timer
+        unblocks the acquirer.  Both this and the push-arrival path guard on
+        ``fut.done``, so whichever fires second is a no-op.
+        """
+        deadline = self.now() + self.machine.upset_wait_timeout_cycles
+
+        def expire() -> None:
+            if not fut.done:
+                fut.resolve(None, self.sim.now)
+
+        self.sim.schedule_call(deadline, expire)
+
+    def _lap_miss_fallback(self, lock_id: int, grant: GrantInfo) -> Generator:
+        """The pushed update set never arrived: recover as if LAP had missed.
+
+        Every page the lost push covered is invalidated and marked to fetch
+        the last owner's merged CS diffs on demand (``aec.cs_diff_req``).
+        The last owner retains those diffs until the next barrier and cannot
+        reach it while we hold the lock, so the fetch is always serviceable;
+        memory ends up word-identical to the push having arrived, at the
+        price of the LAP benefit for this acquire.
+        """
+        stats = self.sim.net_stats
+        if stats is not None:
+            stats.lap_fallbacks += 1
+        self.world.trace.record(self.now(), self.node_id, "lap.fallback",
+                                lock=lock_id, pages=len(grant.covered))
+        stale = self.pending_updates.pop(lock_id, None)
+        if stale is not None:
+            self._discard_update(stale, "unused")
+        if grant.covered:
+            yield self._list_delay(len(grant.covered), "synch")
+        for pg in grant.covered:
+            meta: AECPageMeta = self.page(pg)
+            if meta.valid:
+                meta.valid = False
+                meta.writable = False
+                self.hw.page_protection_changed(pg)
+                self.lost_valid.add(pg)
+                self.gained_valid.discard(pg)
+            meta.cs_diff_source = (lock_id, grant.last_owner)
 
     def release(self, lock_id: int) -> Generator:
         if not self.lock_stack or self.lock_stack[-1] != lock_id:
@@ -775,6 +835,11 @@ class AECNode(ProtocolNode):
             self.world.lap_stats.record_grant(
                 grant.lock_id, dst, grant.last_owner, predictions)
         nbytes = 16 + 8 * len(grant.invalidate) + 4 * len(grant.update_set)
+        if self.sim.transport.enabled:
+            # faulty mode only (keeps fault-free timing untouched): the
+            # grant also names the pages the push covered, so a lost push
+            # can be recovered page-by-page
+            nbytes += 4 * len(grant.covered)
         yield Send(dst, Message("aec.lock_grant", grant, nbytes), "ipc")
 
     # ---- lock client side
@@ -817,7 +882,8 @@ class AECNode(ProtocolNode):
         yield Delay(self.machine.list_cycles(len(p["diffs"])), "ipc")
         expect = self._upset_expect
         if (expect is not None and expect[0] == lock_id
-                and expect[1] == sender and expect[2] == counter):
+                and expect[1] == sender and expect[2] == counter
+                and not expect[3].done):  # may have timed out (faulty mode)
             yield Resolve(expect[3], None)
 
     # ---- diff / page servicing

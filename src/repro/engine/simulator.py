@@ -28,6 +28,8 @@ from typing import Any, Callable, Dict, Generator, List, Optional, Tuple
 from repro.config import MachineParams, SimConfig
 from repro.engine.events import CATEGORIES, Delay, Resolve, Send, Wait
 from repro.engine.future import Future
+from repro.faults.injector import make_injector
+from repro.faults.stats import NetFaultStats
 from repro.network.message import Message
 from repro.network.network import Network
 from repro.obs.profile import Profiler
@@ -35,6 +37,24 @@ from repro.obs.profile import Profiler
 
 class SimulationError(RuntimeError):
     pass
+
+
+class _NullTransport:
+    """Faults-off transport: no seq numbers, no acks, no retransmission.
+
+    The real ``ReliableTransport`` lives in ``repro.protocols.base`` (it
+    needs protocol context); ``World`` installs it on ``sim.transport``
+    when ``config.faults`` is set.  The engine only ever consults
+    ``transport.enabled`` / ``on_send`` / ``on_arrival``.
+    """
+
+    enabled = False
+
+    def on_send(self, msg: Message, time: float) -> None:  # pragma: no cover
+        raise SimulationError("null transport should never see a send")
+
+    def on_arrival(self, msg: Message) -> bool:  # pragma: no cover
+        raise SimulationError("null transport should never see an arrival")
 
 
 Handler = Callable[[Message], Optional[Generator]]
@@ -88,6 +108,14 @@ class Simulator:
         self.now = 0.0
         self.events_processed = 0
         self._started = False
+        #: network-fault counters; None unless a fault plan is configured
+        self.net_stats: Optional[NetFaultStats] = (
+            NetFaultStats(plan=config.faults.name,
+                          fault_seed=config.faults.seed)
+            if config.faults is not None else None)
+        self.injector = make_injector(config, self.net_stats)
+        #: replaced with a ``ReliableTransport`` by ``World`` when faults on
+        self.transport: Any = _NullTransport()
         #: wall-clock hot-loop profiler; None (the default) costs one
         #: ``is not None`` check per dispatched event
         self.profiler: Optional[Profiler] = (
@@ -113,6 +141,11 @@ class Simulator:
             if node.gen is None:
                 node.state = "done"
                 node.done_time = 0.0
+        if self.injector.enabled:
+            for stall in self.config.faults.stalls:
+                if stall.node < len(self.nodes):
+                    self._push(stall.at, "call",
+                               lambda s=stall: self._apply_stall(s))
         for node in self.nodes:
             if node.gen is not None:
                 self._step_program(node, None)
@@ -140,6 +173,8 @@ class Simulator:
             elif kind == "wake":
                 node_id, fut = payload
                 self._wake(self.nodes[node_id], fut)
+            elif kind == "call":
+                payload()
             else:  # pragma: no cover - defensive
                 raise SimulationError(f"unknown event kind {kind!r}")
             if prof is not None:
@@ -163,6 +198,42 @@ class Simulator:
 
     def _push(self, time: float, kind: str, payload: Any) -> None:
         heapq.heappush(self._heap, (time, next(self._seq), kind, payload))
+
+    def schedule_call(self, time: float, fn: Callable[[], None]) -> None:
+        """Run ``fn()`` on the event loop at simulated time ``time``.
+
+        Used by the reliable transport (retransmission timers) and the
+        fault injector (scheduled node stalls); never by protocols on the
+        fault-free path, so faults-off event streams are unchanged.
+        """
+        self._push(max(time, self.now), "call", fn)
+
+    def _apply_stall(self, stall: Any) -> None:
+        """Freeze a node: an uninterruptible zero-work ISR of ``cycles``.
+
+        The window occupies the node's interrupt engine (queuing any
+        incoming handlers behind it) and stretches an in-progress delay,
+        exactly like a real ISR would.  The NIC underneath keeps acking.
+        """
+        node = self.nodes[stall.node]
+        start = max(self.now, node.isr_busy_until)
+        node.isr_busy_until = start + stall.cycles
+        node.isr_cycles_total += stall.cycles
+        node.charge("others", stall.cycles)
+        if node.state == "delaying":
+            node.delay_end += stall.cycles
+            node.delay_seq += 1
+            self._push(node.delay_end, "delay_end",
+                       (node.node_id, node.delay_seq))
+        stats = self.net_stats
+        if stats is not None:
+            stats.stalls += 1
+            stats.stall_cycles += stall.cycles
+        spans = self.injector.spans
+        if spans is not None and spans.enabled:
+            sid = spans.begin(stall.node, "fault",
+                              f"fault.stall n{stall.node}", start)
+            spans.end(sid, start + stall.cycles)
 
     def _step_program(self, node: _NodeRuntime, value: Any) -> None:
         """Advance a node's program task until it blocks, delays or finishes."""
@@ -242,13 +313,42 @@ class Simulator:
         msg.src = src
         msg.dst = dst
         if src == dst:
-            # loopback (e.g. node is its own manager): no network transit
+            # loopback (e.g. node is its own manager): no network transit;
+            # also exempt from the transport — a message to self cannot be
+            # lost, duplicated or reordered
             self._push(time, "arrival", msg)
             return
-        arrival = self.network.deliver(src, dst, msg.total_bytes, time)
-        self._push(arrival, "arrival", msg)
+        if self.transport.enabled:
+            self.transport.on_send(msg, time)
+        self.transmit(msg, time)
+
+    def transmit(self, msg: Message, time: float) -> None:
+        """Put one wire copy of ``msg`` on the network at ``time``.
+
+        Called by ``_inject`` for first transmissions and directly by the
+        reliable transport for retransmissions and acks (which bypass the
+        per-node send accounting — they are NIC-level frames).  The fault
+        injector decides each copy's fate; a dropped copy still reserved
+        the links (the frame was transmitted and lost in flight), so the
+        contention model charges it either way.
+        """
+        if not self.injector.enabled:
+            arrival = self.network.deliver(msg.src, msg.dst,
+                                           msg.total_bytes, time)
+            self._push(arrival, "arrival", msg)
+            return
+        for delivered, extra in self.injector.fates(msg, time):
+            arrival = self.network.deliver(msg.src, msg.dst,
+                                           msg.total_bytes, time)
+            if delivered:
+                self._push(arrival + extra, "arrival", msg)
 
     def _deliver(self, msg: Message) -> None:
+        if self.transport.enabled and not self.transport.on_arrival(msg):
+            # NIC-level frame: an ack, a duplicate, or a late retransmission
+            # of something already applied — suppressed below the CPU, so
+            # no interrupt cost and no message counted for the node
+            return
         node = self.nodes[msg.dst]
         node.messages_received += 1
         handler = node.handler

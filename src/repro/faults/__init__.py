@@ -1,0 +1,27 @@
+"""Deterministic, seeded network-fault injection (``repro.faults``).
+
+Three pieces:
+
+* :mod:`repro.faults.plan` — ``FaultPlan``/``FaultRule``/``NodeStall``:
+  pure-data fault descriptions carried inside ``SimConfig`` (canonical,
+  cache-key-relevant), plus the built-in plan registry;
+* :mod:`repro.faults.injector` — the seeded ``FaultInjector`` hooked into
+  ``Simulator._inject`` (and ``NullInjector`` for faults-off runs);
+* :mod:`repro.faults.stats` — ``NetFaultStats`` counters recorded into
+  ``RunResult.net_faults``.
+
+The reliable transport that *survives* these faults lives with the
+protocol machinery in :mod:`repro.protocols.base` (``ReliableTransport``).
+
+Import note: ``repro.config`` type-checks against ``faults.plan``, and
+``faults.injector`` imports ``repro.config`` at runtime — so this package
+init must only pull in the pure-data modules to stay cycle-free.
+"""
+from repro.faults.plan import (  # noqa: F401
+    BUILTIN_PLANS,
+    FaultPlan,
+    FaultRule,
+    NodeStall,
+    get_plan,
+)
+from repro.faults.stats import NetFaultStats  # noqa: F401

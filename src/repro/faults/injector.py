@@ -1,0 +1,125 @@
+"""Seeded interpretation of a :class:`~repro.faults.plan.FaultPlan`.
+
+The injector sits on the simulator's injection path: for every message
+handed to the network it decides the *fates* of that message — delivered or
+dropped, with how much extra delivery delay, and whether a duplicate copy
+follows.  All randomness comes from one dedicated ``random.Random`` stream
+seeded by ``plan.seed``, so a given (plan, seed, workload) is exactly
+reproducible and independent of the application's own seed.
+
+``NullInjector`` is the faults-off fast path: a single ``enabled`` check in
+``Simulator._inject`` is the only cost, keeping zero-fault runs bit-identical
+to a build without this subsystem at all.
+"""
+from __future__ import annotations
+
+import math
+import random
+from typing import List, Optional, Tuple
+
+from repro.config import MachineParams, SimConfig
+from repro.faults.plan import FaultPlan, FaultRule
+from repro.faults.stats import NetFaultStats
+
+#: fate of one wire copy: (delivered?, extra delivery delay in cycles)
+Fate = Tuple[bool, float]
+
+_CLEAN: Tuple[Fate, ...] = ((True, 0.0),)
+
+#: a duplicate copy trails its original by a small uniform skew (cycles),
+#: modelling a NIC retransmitting a frame it wrongly believed lost
+DUP_SKEW_CYCLES = 512.0
+
+
+class NullInjector:
+    """Faults off: every message is delivered exactly once, on time."""
+
+    enabled = False
+    spans = None
+
+    def fates(self, msg, time: float) -> Tuple[Fate, ...]:  # pragma: no cover
+        return _CLEAN
+
+
+class FaultInjector:
+    """Applies a :class:`FaultPlan`'s rules from a dedicated RNG stream."""
+
+    enabled = True
+
+    def __init__(self, plan: FaultPlan, machine: MachineParams,
+                 stats: NetFaultStats) -> None:
+        self.plan = plan
+        self.machine = machine
+        self.stats = stats
+        self.rng = random.Random(plan.seed)
+        #: set by ``World`` when span recording is on; fault events then
+        #: land on the affected node's timeline as instant ``fault`` spans
+        self.spans = None
+
+    def _rule_for(self, kind: str, src: int, dst: int) -> Optional[FaultRule]:
+        for rule in self.plan.rules:
+            if rule.matches(kind, src, dst):
+                return rule
+        return None
+
+    def _extra_delay(self, rule: FaultRule, nbytes: int) -> float:
+        """Per-copy delivery delay: degraded-link slowdown plus jitter.
+
+        The degraded link stretches the streaming time by ``delay_multiplier``;
+        we add the stretch as delivery delay rather than extending the link
+        reservation — an approximation that degrades latency but not the
+        contention model (documented in DESIGN.md §9).
+        """
+        extra = 0.0
+        if rule.delay_multiplier > 1.0:
+            stream = math.ceil(nbytes / self.machine.net_bytes_per_cycle)
+            slow = (rule.delay_multiplier - 1.0) * stream
+            extra += slow
+            self.stats.degraded_cycles += slow
+        if rule.jitter_cycles > 0 and self.rng.random() < rule.jitter_p:
+            jit = self.rng.uniform(0.0, rule.jitter_cycles)
+            extra += jit
+            self.stats.jittered += 1
+            self.stats.jitter_cycles += jit
+        return extra
+
+    def _note_span(self, msg, time: float, what: str) -> None:
+        spans = self.spans
+        if spans is not None and spans.enabled:
+            sid = spans.begin(msg.src, "fault", f"fault.{what} {msg.kind}",
+                              time, kind=msg.kind, dst=msg.dst)
+            spans.end(sid, time)
+
+    def fates(self, msg, time: float) -> Tuple[Fate, ...]:
+        """Decide delivery of ``msg``: a tuple of per-copy fates.
+
+        The first entry is the original copy; any further entries are
+        injected duplicates.  A dropped copy still occupied the network
+        links (the frame was transmitted and lost in flight).
+        """
+        rule = self._rule_for(msg.kind, msg.src, msg.dst)
+        if rule is None:
+            return _CLEAN
+        fates: List[Fate] = []
+        extra = self._extra_delay(rule, msg.total_bytes)
+        if rule.drop_p > 0 and self.rng.random() < rule.drop_p:
+            self.stats.note_drop(msg.kind)
+            self._note_span(msg, time, "drop")
+            fates.append((False, extra))
+        else:
+            fates.append((True, extra))
+        if rule.dup_p > 0 and self.rng.random() < rule.dup_p:
+            self.stats.duplicated += 1
+            self._note_span(msg, time, "dup")
+            skew = self.rng.uniform(1.0, DUP_SKEW_CYCLES)
+            fates.append((True, extra + skew))
+        return tuple(fates)
+
+
+def make_injector(config: SimConfig, stats: Optional[NetFaultStats]):
+    """The simulator's one entry point: plan in config -> live injector."""
+    plan = config.faults
+    if plan is None:
+        return NullInjector()
+    assert stats is not None
+    return FaultInjector(plan, config.machine, stats)

@@ -14,6 +14,11 @@ Examples::
     repro sweep --scale test --jobs 4 --cache-dir .repro-cache
     repro cache inspect --cache-dir .repro-cache
     repro cache clear --cache-dir .repro-cache
+    repro run --app ocean --protocol aec --faults lossy-1pct -v
+    repro check ocean --protocols aec tmk --faults lossy-1pct
+    repro faults list
+    repro faults explain jitter
+    repro faults run dup-heavy --app is --protocol aec
 """
 from __future__ import annotations
 
@@ -42,8 +47,21 @@ def _make_config(args, **overrides) -> SimConfig:
         kwargs["obs_spans"] = True
     if getattr(args, "check_consistency", False):
         kwargs["check_consistency"] = True
+    if getattr(args, "faults", None):
+        from repro.faults import get_plan
+        kwargs["faults"] = get_plan(args.faults)
     kwargs.update(overrides)
     return SimConfig(**kwargs)
+
+
+def _fault_plan_arg(spec: str) -> str:
+    """argparse type for --faults: validates NAME or NAME@SEED early."""
+    from repro.faults import get_plan
+    try:
+        get_plan(spec)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc))
+    return spec
 
 
 def _write_trace(result, path: str) -> bool:
@@ -87,6 +105,8 @@ def _cmd_run(args) -> int:
     result = run_app(make_app(args.app, args.scale), args.protocol,
                      config=config)
     print(result.summary())
+    if result.net_faults is not None:
+        print(f"  {result.net_faults.summary()}")
     if args.check_consistency:
         _print_check_report(result.check_report, args.verbose)
     if args.verbose:
@@ -255,6 +275,14 @@ def _cmd_sweep(args) -> int:
         specs = [sw.RunSpec(s.app, s.scale, s.protocol,
                             s.config.replace(check_consistency=True), s.check)
                  for s in specs]
+    if args.faults:
+        # same story: the fault plan (name, seed, rules) is part of the
+        # canonical config, so every plan gets its own cache cells
+        from repro.faults import get_plan
+        plan = get_plan(args.faults)
+        specs = [sw.RunSpec(s.app, s.scale, s.protocol,
+                            s.config.replace(faults=plan), s.check)
+                 for s in specs]
     def _to_stderr(msg):
         print(msg, file=sys.stderr)
     report = sw.run_sweep(specs, jobs=args.jobs, cache_dir=args.cache_dir,
@@ -325,6 +353,50 @@ def _cmd_cache(args) -> int:
     return 0
 
 
+def _cmd_faults(args) -> int:
+    """List built-in fault plans, explain one, or run an app under one."""
+    from repro.faults import BUILTIN_PLANS, get_plan
+
+    if args.action == "list":
+        for name in sorted(BUILTIN_PLANS):
+            plan = BUILTIN_PLANS[name]
+            bits = []
+            if plan.rules:
+                bits.append(f"{len(plan.rules)} rule(s)")
+            if plan.stalls:
+                bits.append(f"{len(plan.stalls)} stall(s)")
+            print(f"{name:<16} {', '.join(bits)}")
+        print("\nuse NAME@SEED to override a plan's fault seed "
+              "(e.g. lossy-1pct@7)")
+        return 0
+    if not args.plan:
+        print(f"error: the {args.action!r} action needs a PLAN argument",
+              file=sys.stderr)
+        return 2
+    try:
+        plan = get_plan(args.plan)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.action == "explain":
+        print(plan.describe())
+        return 0
+    # action == "run"
+    if not args.app:
+        print("error: the 'run' action needs --app", file=sys.stderr)
+        return 2
+    config = SimConfig(seed=args.seed, faults=plan,
+                       check_consistency=args.check_consistency)
+    result = run_app(make_app(args.app, args.scale), args.protocol,
+                     config=config)
+    print(result.summary())
+    print(f"  {result.net_faults.summary()}")
+    if args.check_consistency:
+        _print_check_report(result.check_report, verbose=True)
+        return 0 if result.check_report.clean else 1
+    return 0
+
+
 def _cmd_experiment(args) -> int:
     names = EXPERIMENTS[:-1] if args.name == "all" else (args.name,)
     scale = args.scale
@@ -392,6 +464,9 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--check-consistency", action="store_true",
                      help="run the happens-before sanitizer alongside the "
                           "simulation (nonzero exit on violations)")
+    run.add_argument("--faults", metavar="PLAN", type=_fault_plan_arg,
+                     help="inject network faults per a built-in plan "
+                          "(NAME or NAME@SEED; see 'repro faults list')")
     run.set_defaults(fn=_cmd_run)
 
     chk = sub.add_parser(
@@ -413,6 +488,9 @@ def build_parser() -> argparse.ArgumentParser:
                      help="write the full violation report as JSON")
     chk.add_argument("--verbose", "-v", action="store_true",
                      help="print every violation, not just the first few")
+    chk.add_argument("--faults", metavar="PLAN", type=_fault_plan_arg,
+                     help="certify under injected faults (the SC oracle "
+                          "image stays fault-free)")
     chk.set_defaults(fn=_cmd_check)
 
     cmp_ = sub.add_parser("compare", help="one app under several protocols")
@@ -486,7 +564,27 @@ def build_parser() -> argparse.ArgumentParser:
     swp.add_argument("--check-consistency", action="store_true",
                      help="run every cell with the happens-before sanitizer "
                           "(distinct cache keys; nonzero exit on violations)")
+    swp.add_argument("--faults", metavar="PLAN", type=_fault_plan_arg,
+                     help="run every cell under this fault plan "
+                          "(distinct cache keys per plan and fault seed)")
     swp.set_defaults(fn=_cmd_sweep)
+
+    flt = sub.add_parser(
+        "faults",
+        help="list/explain built-in fault plans, or run an app under one")
+    flt.add_argument("action", choices=("list", "explain", "run"))
+    flt.add_argument("plan", nargs="?", metavar="PLAN",
+                     help="plan name (NAME or NAME@SEED) for explain/run")
+    flt.add_argument("--app", choices=APP_NAMES,
+                     help="application for the 'run' action")
+    flt.add_argument("--protocol", choices=sorted(PROTOCOLS), default="aec")
+    flt.add_argument("--scale", choices=SCALES, default="test")
+    flt.add_argument("--seed", type=int, default=42,
+                     help="application seed (the fault seed comes from the "
+                          "plan, override with NAME@SEED)")
+    flt.add_argument("--check-consistency", action="store_true",
+                     help="also run the happens-before sanitizer")
+    flt.set_defaults(fn=_cmd_faults)
 
     cch = sub.add_parser("cache", help="inspect or clear a sweep disk cache")
     cch.add_argument("action", choices=("inspect", "clear"))

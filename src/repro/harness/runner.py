@@ -139,6 +139,7 @@ def run_app(app: Application, protocol: str = "aec",
         metrics=metrics_snapshot,
         profile=profiler.as_dict() if profiler is not None else None,
         check_report=check_report,
+        net_faults=world.sim.net_stats,
         clock_hz=machine.clock_hz,
         extra={
             "lock_vars": [(lv.lock_id, lv.name, lv.group)
@@ -175,3 +176,18 @@ def _publish_summary_metrics(world: World, execution_time: float) -> None:
             if variant == "events" or value is None:
                 continue
             rate.set(value, variant=variant)
+    net = world.sim.net_stats
+    if net is not None:
+        injected = m.counter("net.faults.injected",
+                             "injected network faults by effect")
+        injected.inc(net.dropped, effect="drop")
+        injected.inc(net.duplicated, effect="dup")
+        injected.inc(net.jittered, effect="jitter")
+        injected.inc(net.stalls, effect="stall")
+        recovery = m.counter("net.transport",
+                             "reliable-transport recovery events")
+        recovery.inc(net.retries, event="retry")
+        recovery.inc(net.timeouts, event="timeout")
+        recovery.inc(net.dup_suppressed, event="dup_suppressed")
+        recovery.inc(net.acks_sent, event="ack_sent")
+        recovery.inc(net.lap_fallbacks, event="lap_fallback")

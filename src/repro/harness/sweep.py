@@ -42,7 +42,7 @@ from repro.stats.run_result import RunResult
 #: bump when the RunResult layout or key composition changes incompatibly;
 #: part of every cache key, so old entries miss instead of deserializing
 #: into garbage.
-CACHE_FORMAT_VERSION = 1
+CACHE_FORMAT_VERSION = 2  # v2: RunResult.net_faults + fault-plan configs
 
 
 @lru_cache(maxsize=1)

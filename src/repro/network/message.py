@@ -20,6 +20,9 @@ class Message:
     payload_bytes: int = 0
     src: int = -1
     dst: int = -1
+    #: per-(src, dst, kind) sequence number stamped by the reliable
+    #: transport; -1 = untracked (loopback, or transport disabled)
+    seq: int = -1
     #: free-form tag for debugging / statistics
     tag: Any = field(default=None, compare=False)
 

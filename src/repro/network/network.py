@@ -19,8 +19,8 @@ class Network:
     def __init__(self, machine: MachineParams) -> None:
         self.machine = machine
         from repro.network.mesh import make_topology
-        self.mesh = make_topology(
-            getattr(machine, "topology", "mesh"), machine.num_procs)
+        # topology is a first-class MachineParams field; no fallback
+        self.mesh = make_topology(machine.topology, machine.num_procs)
         self._src_free: List[float] = [0.0] * machine.num_procs
         self._dst_free: List[float] = [0.0] * machine.num_procs
         self.messages = 0
@@ -36,7 +36,18 @@ class Network:
         return math.ceil(nbytes / self.machine.net_bytes_per_cycle)
 
     def deliver(self, src: int, dst: int, nbytes: int, time: float) -> float:
-        """Reserve links and return the delivery completion time at ``dst``."""
+        """Reserve links and return the delivery completion time at ``dst``.
+
+        Loopback (``src == dst``) is free and deliberately *not* counted in
+        ``messages``/``bytes``/``pair_messages``: these counters reproduce
+        the paper's network-message statistics (Table 2), which only count
+        traffic that crosses the interconnect.  A node messaging itself
+        (e.g. as its own lock manager) never leaves the NIC — the simulator
+        normally short-circuits such sends before reaching the network at
+        all, so counting here would also make the totals depend on which
+        layer happened to deliver the message.  Pinned by a regression
+        test; do not change one side without the other.
+        """
         if src == dst:
             return time
         m = self.machine

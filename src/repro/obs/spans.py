@@ -32,6 +32,7 @@ SPAN_KINDS = {
     "diff.apply": "data",
     "page.fetch": "data",
     "lap.window": "synch",    # eager push received -> consumed/discarded
+    "fault": "others",        # injected drop/dup (instant) or node stall
 }
 
 

@@ -16,7 +16,7 @@ import numpy as np
 from repro.config import MachineParams, SimConfig
 from repro.engine.events import Delay
 from repro.engine.future import Future
-from repro.engine.simulator import Simulator
+from repro.engine.simulator import SimulationError, Simulator
 from repro.machine.node import NodeHardware
 from repro.memory.diff import Diff, create_diff
 from repro.memory.layout import Layout
@@ -25,6 +25,169 @@ from repro.network.message import Message
 from repro.stats.diff_stats import DiffStats
 from repro.stats.fault_stats import FaultStats
 from repro.sync.objects import SyncRegistry
+
+#: NIC-level acknowledgement frames of the reliable transport
+ACK_KIND = "net.ack"
+ACK_BYTES = 8
+
+#: message kinds delivered best-effort even under the reliable transport:
+#: pure performance hints whose loss the protocol tolerates by design.
+#: AEC's eager update-set push is the canonical case — a lost push degrades
+#: to a LAP miss (the acquirer times out and fetches the diffs on demand);
+#: retransmitting it would only delay the fallback.  They still carry
+#: sequence numbers so duplicated copies are applied exactly once.
+BEST_EFFORT_KINDS = frozenset({"aec.upset_diffs"})
+
+
+class TransportTimeoutError(SimulationError):
+    """A reliable message exhausted its retry budget without an ack.
+
+    Raised out of the simulator loop — a run under faults either completes
+    within its retry budget or fails loudly with this structured
+    diagnostic; it never silently corrupts memory.
+    """
+
+    def __init__(self, src: int, dst: int, kind: str, seq: int,
+                 attempts: int, first_sent: float, now: float) -> None:
+        self.src = src
+        self.dst = dst
+        self.kind = kind
+        self.seq = seq
+        self.attempts = attempts
+        self.first_sent = first_sent
+        self.now = now
+        super().__init__(
+            f"transport timeout: {kind} #{seq} {src}->{dst} unacked after "
+            f"{attempts} attempt(s) over {now - first_sent:.0f} cycles "
+            f"(first sent at t={first_sent:.0f})"
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "error": "transport_timeout",
+            "src": self.src, "dst": self.dst,
+            "kind": self.kind, "seq": self.seq,
+            "attempts": self.attempts,
+            "first_sent": self.first_sent, "time": self.now,
+        }
+
+
+class ReliableTransport:
+    """Exactly-once messaging over a faulty network.
+
+    Installed on ``Simulator.transport`` whenever ``config.faults`` is set.
+    Sender side stamps a per-(src, dst, kind) sequence number on every
+    non-loopback message and, for reliable kinds, keeps the message buffered
+    until the destination NIC acks it — retransmitting on a timeout that
+    backs off exponentially (``MachineParams.retrans_timeout_cycles`` /
+    ``retrans_backoff``) up to ``retrans_max_retries`` attempts, after which
+    the run fails loudly with :class:`TransportTimeoutError`.
+
+    Receiver side dedups by sequence number *before* any node accounting or
+    handler dispatch: duplicates (injected or retransmitted) are suppressed
+    at NIC level with zero CPU cost, and every suppressed reliable copy is
+    re-acked (the original ack may have been the casualty).  Protocol
+    handlers therefore observe exactly-once delivery and need no idempotence
+    of their own.
+    """
+
+    enabled = True
+
+    def __init__(self, sim: Simulator) -> None:
+        self.sim = sim
+        self.machine = sim.machine
+        self.stats = sim.net_stats
+        #: next sequence number per (src, dst, kind)
+        self._send_seq: Dict[Any, int] = {}
+        #: unacked reliable messages keyed by (src, dst, kind, seq)
+        self._pending: Dict[Any, Message] = {}
+        #: receive-side dedup per (src, dst, kind): contiguous high
+        #: watermark plus the out-of-order seqs above it
+        self._recv_high: Dict[Any, int] = {}
+        self._recv_gaps: Dict[Any, set] = {}
+
+    # --------------------------------------------------------- sender side
+
+    def on_send(self, msg: Message, time: float) -> None:
+        key3 = (msg.src, msg.dst, msg.kind)
+        seq = self._send_seq.get(key3, 0)
+        self._send_seq[key3] = seq + 1
+        msg.seq = seq
+        if msg.kind in BEST_EFFORT_KINDS:
+            return
+        key = (msg.src, msg.dst, msg.kind, seq)
+        self._pending[key] = msg
+        self._arm_timer(key, attempt=1, sent_at=time, first_sent=time)
+
+    def _arm_timer(self, key: Any, attempt: int, sent_at: float,
+                   first_sent: float) -> None:
+        m = self.machine
+        timeout = m.retrans_timeout_cycles * (
+            m.retrans_backoff ** (attempt - 1))
+        self.sim.schedule_call(
+            sent_at + timeout,
+            lambda: self._on_timeout(key, attempt, first_sent))
+
+    def _on_timeout(self, key: Any, attempt: int, first_sent: float) -> None:
+        msg = self._pending.get(key)
+        if msg is None:
+            return  # acked in the meantime
+        self.stats.timeouts += 1
+        if attempt > self.machine.retrans_max_retries:
+            raise TransportTimeoutError(
+                msg.src, msg.dst, msg.kind, msg.seq,
+                attempt, first_sent, self.sim.now)
+        self.stats.note_retry(msg.kind)
+        now = self.sim.now
+        self.sim.transmit(msg, now)
+        self._arm_timer(key, attempt + 1, sent_at=now, first_sent=first_sent)
+
+    # ------------------------------------------------------- receiver side
+
+    def _first_delivery(self, key3: Any, seq: int) -> bool:
+        high = self._recv_high.get(key3, -1)
+        if seq <= high:
+            return False
+        gaps = self._recv_gaps.setdefault(key3, set())
+        if seq in gaps:
+            return False
+        gaps.add(seq)
+        while (high + 1) in gaps:
+            high += 1
+            gaps.discard(high)
+        self._recv_high[key3] = high
+        return True
+
+    def _send_ack(self, msg: Message) -> None:
+        ack = Message(ACK_KIND, {"kind": msg.kind, "seq": msg.seq}, ACK_BYTES)
+        ack.src, ack.dst = msg.dst, msg.src
+        self.stats.acks_sent += 1
+        # straight onto the wire: acks are NIC frames, never node work, and
+        # themselves unreliable (a lost ack is covered by retransmission)
+        self.sim.transmit(ack, self.sim.now)
+
+    def on_arrival(self, msg: Message) -> bool:
+        """NIC-level arrival filter; True iff the CPU should see ``msg``."""
+        if msg.kind == ACK_KIND:
+            body = msg.payload
+            self._pending.pop(
+                (msg.dst, msg.src, body["kind"], body["seq"]), None)
+            self.stats.acks_received += 1
+            return False
+        if msg.seq < 0:
+            return True  # untracked (loopback never gets here; defensive)
+        key3 = (msg.src, msg.dst, msg.kind)
+        fresh = self._first_delivery(key3, msg.seq)
+        if msg.kind not in BEST_EFFORT_KINDS:
+            self._send_ack(msg)
+        if not fresh:
+            self.stats.dup_suppressed += 1
+            return False
+        return True
+
+    @property
+    def unacked(self) -> int:
+        return len(self._pending)
 
 
 class World:
@@ -43,6 +206,12 @@ class World:
                       if config.trace else NullTrace())
         from repro.obs import Observability
         self.obs = Observability.from_config(config)
+        if config.faults is not None:
+            # faulty network: engage the reliable transport and let the
+            # injector land fault events on the span timeline
+            self.sim.transport = ReliableTransport(self.sim)
+            if self.obs.spans.enabled:
+                self.sim.injector.spans = self.obs.spans
         from repro.check import make_checker
         self.checker = make_checker(config, layout, self.machine.num_procs)
         self.diff_stats = DiffStats(num_procs=self.machine.num_procs)

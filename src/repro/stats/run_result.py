@@ -40,6 +40,9 @@ class RunResult:
     #: consistency checker outcome (``check.CheckReport``; None when
     #: ``check_consistency`` is off)
     check_report: Optional[Any] = None
+    #: injected-fault / reliable-transport counters
+    #: (``faults.NetFaultStats``; None when ``config.faults`` is off)
+    net_faults: Optional[Any] = None
     #: simulated clock frequency (for cycles -> seconds conversions)
     clock_hz: float = 100e6
     extra: Dict[str, Any] = field(default_factory=dict)
@@ -75,6 +78,8 @@ class RunResult:
             "wall_seconds": self.wall_seconds,
             "check_violations": (self.check_report.total_violations
                                  if self.check_report is not None else None),
+            "net_faults": (self.net_faults.to_dict()
+                           if self.net_faults is not None else None),
         }
 
     @property

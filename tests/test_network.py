@@ -54,6 +54,34 @@ class TestMesh:
             Mesh(0)
 
 
+class TestRaggedMesh:
+    """Prime node counts force a ragged last row; the metric must stay a
+    metric there (pinned after the topology field became first-class)."""
+
+    PRIMES = (5, 7, 13)
+
+    @pytest.mark.parametrize("n", PRIMES)
+    def test_coords_unique_and_in_bounds(self, n):
+        mesh = Mesh(n)
+        assert mesh.width * mesh.height >= n
+        seen = {mesh.coords(i) for i in range(n)}
+        assert len(seen) == n
+        assert all(0 <= x < mesh.width and 0 <= y < mesh.height
+                   for x, y in seen)
+
+    @pytest.mark.parametrize("n", PRIMES)
+    def test_hops_is_a_metric(self, n):
+        mesh = Mesh(n)
+        for a in range(n):
+            assert mesh.hops(a, a) == 0
+            for b in range(n):
+                assert mesh.hops(a, b) == mesh.hops(b, a)
+                assert (mesh.hops(a, b) > 0) == (a != b)
+                for c in range(n):
+                    assert (mesh.hops(a, c)
+                            <= mesh.hops(a, b) + mesh.hops(b, c))
+
+
 class TestTopologies:
     def test_ring_shortest_way_around(self):
         r = Ring(8)
@@ -104,6 +132,21 @@ class TestNetwork:
         net = self.make()
         assert net.deliver(3, 3, 4096, 500.0) == 500.0
         assert net.messages == 0
+
+    def test_loopback_never_counted(self):
+        """Pins the documented contract: a src == dst deliver is instant and
+        invisible in every traffic statistic (message/byte totals and the
+        pair matrices), keeping Table 2 message counts remote-only."""
+        net = self.make()
+        net.deliver(0, 1, 100, 0.0)
+        before = (net.messages, net.bytes, net.pair_messages.sum(),
+                  net.pair_bytes.sum())
+        for node in (0, 5, 15):
+            assert net.deliver(node, node, 4096, 123.0) == 123.0
+        after = (net.messages, net.bytes, net.pair_messages.sum(),
+                 net.pair_bytes.sum())
+        assert after == before
+        assert net.pair_messages[0, 0] == 0
 
     def test_source_contention_serializes(self):
         net = self.make()
