@@ -1,0 +1,147 @@
+"""Pair two ``BENCH_*.json`` documents and gate on regressions.
+
+Comparison semantics:
+
+* **sim-side numbers are a contract**: simulated cycles, messages, bytes,
+  events, barriers and lock acquires must be *bit-identical* between the
+  two documents for every paired cell.  A mismatch means the protocol's
+  behaviour changed — that is either an intentional change (re-baseline)
+  or a bug, never noise, so it always fails the gate;
+* **wall-clock numbers are noisy**: a cell regresses only when its
+  ``seconds_min`` grew beyond ``threshold_pct`` percent of the old value;
+  improvements are reported but never fail;
+* cells present in only one document are reported (``missing`` / ``new``)
+  and fail the gate only under ``strict`` — growing the suite must not
+  break comparisons against older baselines.
+"""
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+from repro.bench.runner import BENCH_FORMAT, BenchError
+
+#: sim-side keys that must be bit-identical between paired cells
+SIM_KEYS = ("execution_time", "messages", "bytes", "events", "barriers",
+            "lock_acquires")
+
+
+def load_bench(path: str) -> Dict[str, Any]:
+    with open(path, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    fmt = doc.get("bench_format")
+    if fmt != BENCH_FORMAT:
+        raise BenchError(f"{path}: bench_format {fmt!r} is not the "
+                         f"supported format {BENCH_FORMAT}")
+    return doc
+
+
+@dataclass
+class CellComparison:
+    """Outcome for one paired (or unpaired) cell."""
+
+    cell_id: str
+    #: ok | regression | improvement | sim-mismatch | missing | new
+    status: str
+    wall_old: float = 0.0
+    wall_new: float = 0.0
+    #: wall delta in percent of old (positive = slower)
+    delta_pct: float = 0.0
+    mismatches: List[str] = field(default_factory=list)
+
+    def describe(self) -> str:
+        if self.status in ("missing", "new"):
+            return f"{self.status:<12} {self.cell_id}"
+        if self.status == "sim-mismatch":
+            return (f"{self.status:<12} {self.cell_id}: "
+                    + "; ".join(self.mismatches))
+        return (f"{self.status:<12} {self.cell_id}: "
+                f"{self.wall_old:.3f}s -> {self.wall_new:.3f}s "
+                f"({self.delta_pct:+.1f}%)")
+
+
+@dataclass
+class ComparisonReport:
+    old_rev: str
+    new_rev: str
+    threshold_pct: float
+    cells: List[CellComparison] = field(default_factory=list)
+    strict: bool = False
+
+    def of_status(self, status: str) -> List[CellComparison]:
+        return [c for c in self.cells if c.status == status]
+
+    @property
+    def failed(self) -> bool:
+        if self.of_status("sim-mismatch") or self.of_status("regression"):
+            return True
+        return bool(self.strict and self.of_status("missing"))
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.failed else 0
+
+    def summary(self) -> str:
+        counts = {}
+        for cell in self.cells:
+            counts[cell.status] = counts.get(cell.status, 0) + 1
+        bits = [f"{n} {status}" for status, n in sorted(counts.items())]
+        verdict = "FAIL" if self.failed else "ok"
+        return (f"bench compare {self.old_rev} -> {self.new_rev} "
+                f"(threshold {self.threshold_pct:g}%): "
+                + ", ".join(bits) + f" — {verdict}")
+
+    def render(self) -> str:
+        lines = [self.summary()]
+        order = ("sim-mismatch", "regression", "improvement", "missing",
+                 "new", "ok")
+        for status in order:
+            for cell in self.of_status(status):
+                lines.append("  " + cell.describe())
+        return "\n".join(lines)
+
+
+def _compare_cell(cell_id: str, old: Dict[str, Any], new: Dict[str, Any],
+                  threshold_pct: float) -> CellComparison:
+    mismatches = []
+    old_sim, new_sim = old.get("sim", {}), new.get("sim", {})
+    for key in SIM_KEYS:
+        if key in old_sim and old_sim.get(key) != new_sim.get(key):
+            mismatches.append(
+                f"{key} {old_sim.get(key)!r} != {new_sim.get(key)!r}")
+    wall_old = old.get("wall", {}).get("seconds_min", 0.0)
+    wall_new = new.get("wall", {}).get("seconds_min", 0.0)
+    delta_pct = (100.0 * (wall_new - wall_old) / wall_old) if wall_old else 0.0
+    if mismatches:
+        status = "sim-mismatch"
+    elif delta_pct > threshold_pct:
+        status = "regression"
+    elif delta_pct < -threshold_pct:
+        status = "improvement"
+    else:
+        status = "ok"
+    return CellComparison(cell_id, status, wall_old, wall_new, delta_pct,
+                          mismatches)
+
+
+def compare_docs(old: Dict[str, Any], new: Dict[str, Any],
+                 threshold_pct: float = 10.0,
+                 strict: bool = False) -> ComparisonReport:
+    """Compare two loaded BENCH documents cell-by-cell."""
+    report = ComparisonReport(
+        old_rev=str((old.get("host") or {}).get("git_rev") or "old"),
+        new_rev=str((new.get("host") or {}).get("git_rev") or "new"),
+        threshold_pct=threshold_pct, strict=strict)
+    old_cells = old.get("cells", {})
+    new_cells = new.get("cells", {})
+    for cell_id in sorted(set(old_cells) | set(new_cells)):
+        if cell_id not in new_cells:
+            report.cells.append(CellComparison(cell_id, "missing"))
+        elif cell_id not in old_cells:
+            report.cells.append(CellComparison(cell_id, "new"))
+        else:
+            report.cells.append(_compare_cell(
+                cell_id, old_cells[cell_id], new_cells[cell_id],
+                threshold_pct))
+    return report

@@ -1,0 +1,232 @@
+"""Execute a benchmark suite into a ``BENCH_<git_rev>.json`` document.
+
+Measurement discipline:
+
+* every cell runs ``warmup`` throwaway repetitions (imports, allocator
+  warm-up, branch predictors) before ``repetitions`` timed ones;
+* the *simulated* numbers of every repetition — cycles, messages, bytes,
+  events, barriers, lock acquires — must be bit-identical; any drift is a
+  determinism bug and raises :class:`BenchError` rather than producing a
+  baseline that can never be reproduced;
+* wall-clock numbers keep all repetitions plus min/median: ``min`` is the
+  least-noise estimate (what regression gating compares), ``median`` the
+  robustness check;
+* sweep cells run through :func:`repro.harness.sweep.run_sweep` with the
+  in-process memo cleared and the disk cache detached each repetition —
+  a benchmark must execute simulations, not replay a cache.
+
+The resulting document is JSON with sorted keys; committed at the repo
+root it is one point on the perf trajectory that
+``repro bench compare`` pairs against later points.
+"""
+from __future__ import annotations
+
+import json
+import statistics
+import time
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.apps.registry import make_app
+from repro.bench.suite import BenchCase, suite_cases
+from repro.config import SimConfig
+from repro.harness import sweep as sw
+from repro.harness.runner import run_app
+from repro.obs.host import host_metadata, peak_rss_bytes
+from repro.stats.run_result import RunResult
+
+#: bump when the document layout changes incompatibly; ``compare`` refuses
+#: to pair documents of different formats
+BENCH_FORMAT = 1
+
+Progress = Optional[Callable[[str], None]]
+
+
+class BenchError(RuntimeError):
+    """A benchmark cell failed or produced non-deterministic sim numbers."""
+
+
+def _sim_numbers(result: RunResult) -> Dict[str, float]:
+    """The deterministic side of one run (bit-identical across hosts)."""
+    return {
+        "execution_time": result.execution_time,
+        "messages": result.messages_total,
+        "bytes": result.network_bytes,
+        "events": result.events_processed,
+        "barriers": result.barrier_events,
+        "lock_acquires": result.total_lock_acquires,
+    }
+
+
+def _check_identical(cell_id: str, reference: Dict[str, float],
+                     observed: Dict[str, float]) -> None:
+    diffs = [f"{k}: {reference[k]!r} != {observed[k]!r}"
+             for k in reference if reference[k] != observed[k]]
+    if diffs:
+        raise BenchError(
+            f"cell {cell_id}: sim-side numbers changed between repetitions "
+            f"({'; '.join(diffs)}) — the simulator is non-deterministic")
+
+
+def _wall_stats(seconds: List[float]) -> Dict[str, Any]:
+    return {
+        "seconds": seconds,
+        "seconds_min": min(seconds),
+        "seconds_median": statistics.median(seconds),
+    }
+
+
+def _make_config(case: BenchCase) -> SimConfig:
+    kwargs: Dict[str, Any] = {"seed": case.seed}
+    if case.check_consistency:
+        kwargs["check_consistency"] = True
+    if case.faults:
+        from repro.faults import get_plan
+        kwargs["faults"] = get_plan(case.faults)
+    return SimConfig(**kwargs)
+
+
+def _run_once(case: BenchCase) -> tuple:
+    config = _make_config(case)
+    t0 = time.perf_counter()
+    result = run_app(make_app(case.app, case.scale), case.protocol,
+                     config=config)
+    return time.perf_counter() - t0, result
+
+
+def _sweep_once(case: BenchCase) -> tuple:
+    specs = [sw.make_spec(app, case.scale, protocol, seed=case.seed)
+             for app in case.sweep_apps for protocol in case.sweep_protocols]
+    # a benchmark measures execution, never cache replay
+    sw.clear_memory()
+    previous = sw.set_cache_dir(None)
+    assert previous is None  # set_cache_dir returns the new handle
+    report = sw.run_sweep(specs, jobs=case.jobs)
+    if report.failures:
+        raise BenchError(f"cell {case.cell_id}: "
+                         f"{len(report.failures)} sweep cells failed: "
+                         f"{report.failures[0][1]}")
+    if report.executed != len(specs):
+        raise BenchError(f"cell {case.cell_id}: only {report.executed} of "
+                         f"{len(specs)} sweep cells actually executed — a "
+                         f"cache layer leaked into the benchmark")
+    sim: Dict[str, float] = {"execution_time": 0.0, "messages": 0,
+                             "bytes": 0, "events": 0, "barriers": 0,
+                             "lock_acquires": 0}
+    for spec in specs:
+        result = report.result_for(spec)
+        for key, value in _sim_numbers(result).items():
+            sim[key] += value
+    return report.wall_seconds, sim, len(specs)
+
+
+def run_case(case: BenchCase, repetitions: int = 3, warmup: int = 1,
+             progress: Progress = None) -> Dict[str, Any]:
+    """Measure one cell; returns its JSON-safe record."""
+    if repetitions < 1:
+        raise ValueError("repetitions must be >= 1")
+
+    def say(msg: str) -> None:
+        if progress is not None:
+            progress(msg)
+
+    record: Dict[str, Any] = {
+        "kind": case.kind,
+        "scale": case.scale,
+        "seed": case.seed,
+    }
+    if case.kind == "run":
+        record.update(app=case.app, protocol=case.protocol,
+                      check_consistency=case.check_consistency,
+                      faults=case.faults)
+        sim: Optional[Dict[str, float]] = None
+        walls: List[float] = []
+        loop_walls: List[float] = []
+        events = 0.0
+        for rep in range(warmup + repetitions):
+            wall, result = _run_once(case)
+            numbers = _sim_numbers(result)
+            if sim is None:
+                sim = numbers
+            else:
+                _check_identical(case.cell_id, sim, numbers)
+            if rep < warmup:
+                continue
+            walls.append(wall)
+            loop_walls.append(result.wall_seconds)
+            events = numbers["events"]
+        assert sim is not None
+        record["sim"] = sim
+        wall_doc = _wall_stats(walls)
+        loop_min = min(loop_walls)
+        wall_doc["sim_loop_seconds_min"] = loop_min
+        # throughput from the least-noise repetition's event-loop time
+        wall_doc["events_per_second"] = events / loop_min if loop_min else 0.0
+        wall_doc["cycles_per_second"] = (
+            sim["execution_time"] / loop_min if loop_min else 0.0)
+        record["wall"] = wall_doc
+    else:  # sweep
+        record.update(jobs=case.jobs, apps=list(case.sweep_apps),
+                      protocols=list(case.sweep_protocols))
+        sim = None
+        walls = []
+        cells = 0
+        for rep in range(warmup + repetitions):
+            wall, numbers, cells = _sweep_once(case)
+            if sim is None:
+                sim = numbers
+            else:
+                _check_identical(case.cell_id, sim, numbers)
+            if rep >= warmup:
+                walls.append(wall)
+        assert sim is not None
+        record["sim"] = sim
+        record["cells"] = cells
+        wall_doc = _wall_stats(walls)
+        wall_doc["cells_per_second"] = (
+            cells / wall_doc["seconds_min"] if wall_doc["seconds_min"]
+            else 0.0)
+        record["wall"] = wall_doc
+    record["peak_rss_bytes"] = peak_rss_bytes()
+    say(f"{case.cell_id}: {record['wall']['seconds_min']:.2f}s min / "
+        f"{record['wall']['seconds_median']:.2f}s median "
+        f"over {repetitions} reps")
+    return record
+
+
+def run_suite(suite: str = "default", scale: str = "test",
+              repetitions: int = 3, warmup: int = 1,
+              progress: Progress = None,
+              cases: Optional[List[BenchCase]] = None) -> Dict[str, Any]:
+    """Run a whole suite into a ``BENCH`` document (not yet written out)."""
+    if cases is None:
+        cases = suite_cases(suite, scale)
+    t0 = time.perf_counter()
+    cells = {case.cell_id: run_case(case, repetitions, warmup, progress)
+             for case in cases}
+    return {
+        "bench_format": BENCH_FORMAT,
+        "suite": suite,
+        "scale": scale,
+        "repetitions": repetitions,
+        "warmup": warmup,
+        "host": host_metadata(),
+        "total_wall_seconds": time.perf_counter() - t0,
+        "cells": cells,
+    }
+
+
+def bench_path(rev: Optional[str] = None) -> str:
+    """The conventional file name for this build's trajectory point."""
+    if rev is None:
+        rev = sw.provenance().get("git_rev") or "unknown"
+    return f"BENCH_{rev}.json"
+
+
+def write_bench(doc: Dict[str, Any], path: Optional[str] = None) -> str:
+    """Serialize ``doc`` (sorted keys, trailing newline); returns the path."""
+    if path is None:
+        path = bench_path()
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path

@@ -1,0 +1,122 @@
+"""The pinned benchmark suite: which cells a ``BENCH_*.json`` contains.
+
+A suite is a versioned list of :class:`BenchCase` cells.  Changing the
+composition of a suite makes old baselines incomparable cell-by-cell, so
+cells carry stable string ids (``app/scale/protocol`` plus ``+check`` /
+``+faults:PLAN`` decorations) and :func:`repro.bench.compare.compare_docs`
+pairs by id — adding a cell is backward compatible, renaming one is not.
+
+Two suites:
+
+* ``smoke`` — two apps under the three reference protocols, one
+  checker-overhead cell, one faults-overhead cell and a 2-worker sweep;
+  fast enough for CI and the test suite.
+* ``default`` — every app under {aec, tmk, sc}, both overhead cells and
+  the sweep throughput case; the suite behind the committed trajectory.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.apps.registry import APP_NAMES
+
+#: protocols every suite measures per app: the paper protocol, the
+#: TreadMarks competitor and the (cheap, centralized) SC reference
+SUITE_PROTOCOLS = ("aec", "tmk", "sc")
+
+
+@dataclass(frozen=True)
+class BenchCase:
+    """One benchmark cell: a single run, or a parallel-sweep throughput case.
+
+    ``kind == "run"`` simulates ``app`` under ``protocol`` once per
+    repetition; ``kind == "sweep"`` pushes ``sweep_apps`` ×
+    ``sweep_protocols`` through :func:`repro.harness.sweep.run_sweep` with
+    ``jobs`` workers and no cache — measuring fan-out throughput, not
+    single-run latency.
+    """
+
+    cell_id: str
+    kind: str = "run"  # "run" | "sweep"
+    app: str = ""
+    protocol: str = "aec"
+    scale: str = "test"
+    seed: int = 42
+    check_consistency: bool = False
+    faults: Optional[str] = None  # fault-plan name (NAME or NAME@SEED)
+    # ---- sweep cases only -------------------------------------------------
+    jobs: int = 2
+    sweep_apps: Tuple[str, ...] = ()
+    sweep_protocols: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("run", "sweep"):
+            raise ValueError(f"unknown bench case kind {self.kind!r}")
+        if self.kind == "run" and not self.app:
+            raise ValueError("run cases need an app")
+        if self.kind == "sweep" and not self.sweep_apps:
+            raise ValueError("sweep cases need sweep_apps")
+        if self.kind == "sweep" and self.jobs < 1:
+            raise ValueError("sweep cases need jobs >= 1")
+
+
+def _run_case(app: str, protocol: str, scale: str, *,
+              check: bool = False, faults: Optional[str] = None) -> BenchCase:
+    cell_id = f"{app}/{scale}/{protocol}"
+    if check:
+        cell_id += "+check"
+    if faults:
+        cell_id += f"+faults:{faults}"
+    return BenchCase(cell_id=cell_id, app=app, protocol=protocol,
+                     scale=scale, check_consistency=check, faults=faults)
+
+
+def _sweep_case(apps: Tuple[str, ...], protocols: Tuple[str, ...],
+                scale: str, jobs: int) -> BenchCase:
+    # the id names the workload size: the smoke and default suites both
+    # carry a sweep cell, and two sweeps over different app sets must
+    # never pair up in `bench compare` (their sim numbers differ by
+    # construction, not by regression)
+    n = len(apps) * len(protocols)
+    return BenchCase(cell_id=f"sweep/{scale}/{n}cells/jobs{jobs}",
+                     kind="sweep", scale=scale, jobs=jobs, sweep_apps=apps,
+                     sweep_protocols=protocols)
+
+
+def _smoke(scale: str) -> List[BenchCase]:
+    apps = ("is", "ocean")
+    cases = [_run_case(app, proto, scale)
+             for app in apps for proto in SUITE_PROTOCOLS]
+    cases.append(_run_case("ocean", "aec", scale, check=True))
+    cases.append(_run_case("ocean", "aec", scale, faults="lossy-1pct"))
+    cases.append(_sweep_case(apps, ("aec", "tmk"), scale, jobs=2))
+    return cases
+
+
+def _default(scale: str) -> List[BenchCase]:
+    cases = [_run_case(app, proto, scale)
+             for app in APP_NAMES for proto in SUITE_PROTOCOLS]
+    cases.append(_run_case("ocean", "aec", scale, check=True))
+    cases.append(_run_case("ocean", "aec", scale, faults="lossy-1pct"))
+    cases.append(_sweep_case(tuple(APP_NAMES), ("aec", "tmk"), scale, jobs=2))
+    return cases
+
+
+SUITES: Dict[str, object] = {"smoke": _smoke, "default": _default}
+
+
+def suite_cases(name: str = "default", scale: str = "test"
+                ) -> List[BenchCase]:
+    """The cells of suite ``name`` at ``scale`` (cell ids embed the scale)."""
+    try:
+        builder = SUITES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown bench suite {name!r}; choose from {sorted(SUITES)}"
+        ) from None
+    cases = builder(scale)  # type: ignore[operator]
+    ids = [c.cell_id for c in cases]
+    if len(set(ids)) != len(ids):  # pragma: no cover - suite author error
+        raise ValueError(f"suite {name!r} has duplicate cell ids")
+    return cases

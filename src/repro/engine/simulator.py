@@ -107,6 +107,8 @@ class Simulator:
         self._seq = itertools.count()
         self.now = 0.0
         self.events_processed = 0
+        #: wall-clock seconds spent inside :meth:`run` (set when it returns)
+        self.run_wall_seconds = 0.0
         self._started = False
         #: network-fault counters; None unless a fault plan is configured
         self.net_stats: Optional[NetFaultStats] = (
@@ -137,6 +139,7 @@ class Simulator:
         if self._started:
             raise SimulationError("simulator already ran")
         self._started = True
+        run_t0 = perf_counter()
         for node in self.nodes:
             if node.gen is None:
                 node.state = "done"
@@ -179,6 +182,7 @@ class Simulator:
                 raise SimulationError(f"unknown event kind {kind!r}")
             if prof is not None:
                 prof.add("event." + kind, perf_counter() - t0)
+        self.run_wall_seconds = perf_counter() - run_t0
         for node in self.nodes:
             if node.state != "done":
                 raise SimulationError(
@@ -186,6 +190,25 @@ class Simulator:
                     f"(waiting on {getattr(node, 'wait_category', '?')})"
                 )
         return self.execution_time
+
+    def counters(self) -> Dict[str, float]:
+        """Engine-level throughput counters for the benchmark harness.
+
+        ``events_per_second`` and ``cycles_per_second`` relate the
+        simulated workload to the host wall clock of the event loop; the
+        message totals aggregate the per-node counts (loopback messages
+        included, NIC-level ack frames excluded — see ``_deliver``).
+        """
+        wall = self.run_wall_seconds
+        return {
+            "events_processed": float(self.events_processed),
+            "run_wall_seconds": wall,
+            "events_per_second": self.events_processed / wall if wall else 0.0,
+            "cycles_per_second": self.execution_time / wall if wall else 0.0,
+            "messages_sent": float(sum(n.messages_sent for n in self.nodes)),
+            "messages_received": float(
+                sum(n.messages_received for n in self.nodes)),
+        }
 
     @property
     def execution_time(self) -> float:

@@ -19,6 +19,10 @@ Examples::
     repro faults list
     repro faults explain jitter
     repro faults run dup-heavy --app is --protocol aec
+    repro bench run --suite smoke --reps 3 --out BENCH_new.json -v
+    repro bench compare BENCH_old.json BENCH_new.json --threshold 25
+    repro bench attr --app is --protocol aec --scale test
+    repro bench flame /tmp/is.folded --app is --protocol aec
 """
 from __future__ import annotations
 
@@ -72,7 +76,9 @@ def _write_trace(result, path: str) -> bool:
         return False
     cycle_ns = 1e9 / result.clock_hz
     try:
-        n = write_chrome_trace(path, spans.spans, cycle_ns=cycle_ns,
+        # pass the recorder itself so ring-buffer drop counts land in the
+        # trace metadata
+        n = write_chrome_trace(path, spans, cycle_ns=cycle_ns,
                                process_name=f"{result.app}/{result.protocol}")
     except OSError as exc:
         print(f"error: cannot write trace to {path}: {exc}", file=sys.stderr)
@@ -83,11 +89,11 @@ def _write_trace(result, path: str) -> bool:
     return True
 
 
-def _print_profile(result) -> None:
+def _print_profile(result, top: int = 25) -> None:
     prof = result.extra.get("profiler")
     if prof is not None:
         print()
-        print(prof.render())
+        print(prof.render(top=top))
 
 
 def _print_check_report(rep, verbose: bool, limit: int = 10) -> None:
@@ -129,7 +135,7 @@ def _cmd_run(args) -> int:
     if args.trace_out and not _write_trace(result, args.trace_out):
         rc = 1
     if args.profile:
-        _print_profile(result)
+        _print_profile(result, top=args.profile_top)
     return rc
 
 
@@ -283,11 +289,21 @@ def _cmd_sweep(args) -> int:
         specs = [sw.RunSpec(s.app, s.scale, s.protocol,
                             s.config.replace(faults=plan), s.check)
                  for s in specs]
+    if args.metrics:
+        # metrics-on cells snapshot the registry into each RunResult so
+        # the report can merge them; distinct cache keys again
+        specs = [sw.RunSpec(s.app, s.scale, s.protocol,
+                            s.config.replace(obs_metrics=True), s.check)
+                 for s in specs]
     def _to_stderr(msg):
         print(msg, file=sys.stderr)
     report = sw.run_sweep(specs, jobs=args.jobs, cache_dir=args.cache_dir,
                           progress=_to_stderr if args.verbose else None)
     print(report.summary())
+    if args.verbose:
+        aggregates = report.metrics_summary()
+        if aggregates is not None:
+            print(aggregates)
     dirty = 0
     if args.check_consistency:
         for spec in report.specs:
@@ -441,6 +457,107 @@ def _cmd_experiment(args) -> int:
     return 0
 
 
+def _cmd_bench(args) -> int:
+    from repro import bench
+
+    if args.bench_cmd == "list":
+        for case in bench.suite_cases(args.suite, args.scale):
+            extra = ""
+            if case.kind == "sweep":
+                extra = (f" [{len(case.sweep_apps) * len(case.sweep_protocols)}"
+                         f" cells, jobs={case.jobs}]")
+            print(f"{case.cell_id:<32} {case.kind}{extra}")
+        return 0
+
+    if args.bench_cmd == "run":
+        def _to_stderr(msg):
+            print(msg, file=sys.stderr)
+        try:
+            doc = bench.run_suite(
+                args.suite, args.scale, repetitions=args.reps,
+                warmup=args.warmup,
+                progress=_to_stderr if args.verbose else None)
+        except bench.BenchError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        path = bench.write_bench(doc, args.out)
+        cells = doc["cells"]
+        total = sum(c["wall"]["seconds_min"] for c in cells.values())
+        print(f"bench: {len(cells)} cells, {args.reps} reps + "
+              f"{args.warmup} warmup, {doc['total_wall_seconds']:.1f}s wall "
+              f"({total:.1f}s of best-rep cell time)")
+        for cell_id in sorted(cells):
+            wall = cells[cell_id]["wall"]
+            rate = wall.get("events_per_second")
+            rate_txt = (f" {rate / 1e3:8.1f}k evt/s"
+                        if rate is not None
+                        else f" {wall['cells_per_second']:8.2f} cells/s")
+            print(f"  {cell_id:<32} {wall['seconds_min']:7.3f}s min "
+                  f"{wall['seconds_median']:7.3f}s median{rate_txt}")
+        print(f"baseline written to {path}")
+        return 0
+
+    if args.bench_cmd == "compare":
+        try:
+            old = bench.load_bench(args.old)
+            new = bench.load_bench(args.new)
+        except (OSError, ValueError, bench.BenchError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        report = bench.compare_docs(old, new, threshold_pct=args.threshold,
+                                    strict=args.strict)
+        if args.verbose:
+            print(report.render())
+        else:
+            print(report.summary())
+            for cell in report.cells:
+                if cell.status in ("sim-mismatch", "regression", "missing"):
+                    print("  " + cell.describe())
+        return report.exit_code
+
+    if args.bench_cmd == "attr":
+        config = _make_config(args, obs_spans=True)
+        result = run_app(make_app(args.app, args.scale), args.protocol,
+                         config=config)
+        report = bench.attribute_result(result)
+        print(result.summary())
+        print()
+        print(report.render())
+        problems = report.check()
+        if args.json:
+            import json as _json
+            with open(args.json, "w", encoding="utf-8") as fh:
+                _json.dump(report.to_dict(), fh, indent=2, sort_keys=True)
+            print(f"\nattribution written to {args.json}")
+        if problems:
+            print()
+            for p in problems:
+                print(f"TOLERANCE VIOLATION: {p}", file=sys.stderr)
+            return 1
+        return 0
+
+    # bench_cmd == "flame"
+    if args.wall:
+        config = _make_config(args, profile=True)
+        result = run_app(make_app(args.app, args.scale), args.protocol,
+                         config=config)
+        folded = bench.profile_collapsed(result.profile)
+        unit = "us of host wall time"
+    else:
+        config = _make_config(args, obs_spans=True)
+        result = run_app(make_app(args.app, args.scale), args.protocol,
+                         config=config)
+        folded = bench.spans_collapsed(result.extra["spans"].spans,
+                                       result.num_procs,
+                                       result.execution_time)
+        unit = "simulated cycles"
+    print(result.summary())
+    n = bench.write_collapsed(folded, args.out)
+    print(f"{n} collapsed stacks ({unit}) written to {args.out} — "
+          f"feed to flamegraph.pl or speedscope.app")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     p = argparse.ArgumentParser(
         prog="repro",
@@ -461,6 +578,9 @@ def build_parser() -> argparse.ArgumentParser:
                           "(implies --trace)")
     run.add_argument("--profile", action="store_true",
                      help="wall-clock profile of the simulator hot loop")
+    run.add_argument("--profile-top", type=int, default=25, metavar="N",
+                     help="show only the N hottest profile sections "
+                          "(default 25)")
     run.add_argument("--check-consistency", action="store_true",
                      help="run the happens-before sanitizer alongside the "
                           "simulation (nonzero exit on violations)")
@@ -567,6 +687,10 @@ def build_parser() -> argparse.ArgumentParser:
     swp.add_argument("--faults", metavar="PLAN", type=_fault_plan_arg,
                      help="run every cell under this fault plan "
                           "(distinct cache keys per plan and fault seed)")
+    swp.add_argument("--metrics", action="store_true",
+                     help="run every cell with the metrics registry on and "
+                          "report sweep-level aggregates with -v "
+                          "(distinct cache keys)")
     swp.set_defaults(fn=_cmd_sweep)
 
     flt = sub.add_parser(
@@ -590,7 +714,82 @@ def build_parser() -> argparse.ArgumentParser:
     cch.add_argument("action", choices=("inspect", "clear"))
     cch.add_argument("--cache-dir", required=True, metavar="DIR")
     cch.set_defaults(fn=_cmd_cache)
+
+    ben = sub.add_parser(
+        "bench",
+        help="perf-trajectory harness: run/compare BENCH_*.json baselines, "
+             "attribute simulated time, export flamegraphs")
+    bsub = ben.add_subparsers(dest="bench_cmd", required=True)
+
+    def _bench_run_args(sp):
+        sp.add_argument("--app", choices=APP_NAMES, required=True)
+        sp.add_argument("--protocol", choices=sorted(PROTOCOLS),
+                        default="aec")
+        sp.add_argument("--scale", choices=SCALES, default="test")
+        sp.add_argument("--update-set-size", type=int, default=2)
+        sp.add_argument("--seed", type=int, default=42)
+
+    brun = bsub.add_parser(
+        "run", help="run a suite and write BENCH_<git_rev>.json")
+    brun.add_argument("--suite", choices=sorted(bench_suites()),
+                      default="default")
+    brun.add_argument("--scale", choices=SCALES, default="test")
+    brun.add_argument("--reps", type=int, default=3, metavar="N",
+                      help="timed repetitions per cell (default 3)")
+    brun.add_argument("--warmup", type=int, default=1, metavar="N",
+                      help="discarded warmup repetitions per cell "
+                           "(default 1)")
+    brun.add_argument("--out", metavar="FILE",
+                      help="output path (default BENCH_<git_rev>.json)")
+    brun.add_argument("--verbose", "-v", action="store_true",
+                      help="print per-cell progress to stderr")
+    brun.set_defaults(fn=_cmd_bench)
+
+    blist = bsub.add_parser("list", help="list a suite's cells")
+    blist.add_argument("--suite", choices=sorted(bench_suites()),
+                       default="default")
+    blist.add_argument("--scale", choices=SCALES, default="test")
+    blist.set_defaults(fn=_cmd_bench)
+
+    bcmp = bsub.add_parser(
+        "compare",
+        help="gate NEW against OLD: sim numbers bit-identical, wall "
+             "regressions beyond the threshold exit nonzero")
+    bcmp.add_argument("old", metavar="OLD.json")
+    bcmp.add_argument("new", metavar="NEW.json")
+    bcmp.add_argument("--threshold", type=float, default=10.0, metavar="PCT",
+                      help="wall-clock regression threshold in percent "
+                           "(default 10)")
+    bcmp.add_argument("--strict", action="store_true",
+                      help="cells missing from NEW also fail the gate")
+    bcmp.add_argument("--verbose", "-v", action="store_true",
+                      help="print every cell, not just problems")
+    bcmp.set_defaults(fn=_cmd_bench)
+
+    battr = bsub.add_parser(
+        "attr",
+        help="per-node simulated-time attribution from spans "
+             "(nonzero exit if it fails to sum to execution time)")
+    _bench_run_args(battr)
+    battr.add_argument("--json", metavar="FILE",
+                       help="also write the attribution as JSON")
+    battr.set_defaults(fn=_cmd_bench)
+
+    bflame = bsub.add_parser(
+        "flame", help="export collapsed stacks for flamegraph tools")
+    bflame.add_argument("out", metavar="OUT.folded",
+                        help="output path for the collapsed stacks")
+    _bench_run_args(bflame)
+    bflame.add_argument("--wall", action="store_true",
+                        help="fold the wall-clock profiler instead of "
+                             "simulated-time spans")
+    bflame.set_defaults(fn=_cmd_bench)
     return p
+
+
+def bench_suites():
+    from repro.bench.suite import SUITES
+    return SUITES
 
 
 def main(argv: Optional[List[str]] = None) -> int:

@@ -8,6 +8,7 @@ from repro.apps.api import Application, AppContext
 from repro.config import SimConfig
 from repro.core.aec.protocol import AECNode
 from repro.memory.layout import Layout
+from repro.obs.host import host_metadata
 from repro.protocols.base import ProtocolNode, World
 from repro.protocols.sc import SCNode
 from repro.stats.breakdown import Breakdown
@@ -119,6 +120,14 @@ def run_app(app: Application, protocol: str = "aec",
         _publish_summary_metrics(world, execution_time)
         metrics_snapshot = world.obs.metrics.snapshot()
 
+    profile = None
+    if profiler is not None:
+        # every profiled run records where/what it ran on: peak RSS, CPU
+        # count, interpreter, git revision ("@" keeps the entry from ever
+        # colliding with a timed section name)
+        profile = profiler.as_dict()
+        profile["@host"] = host_metadata()
+
     return RunResult(
         app=app.name,
         protocol=protocol,
@@ -137,7 +146,7 @@ def run_app(app: Application, protocol: str = "aec",
         events_processed=world.sim.events_processed,
         wall_seconds=wall,
         metrics=metrics_snapshot,
-        profile=profiler.as_dict() if profiler is not None else None,
+        profile=profile,
         check_report=check_report,
         net_faults=world.sim.net_stats,
         clock_hz=machine.clock_hz,

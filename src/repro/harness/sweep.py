@@ -326,6 +326,56 @@ class SweepReport:
     def result_for(self, spec: RunSpec) -> RunResult:
         return self.results[spec.key]
 
+    def merged_metrics(self):
+        """Sweep-level metrics: every cell's snapshot merged into one.
+
+        Uses :meth:`repro.obs.Snapshot.merge` (counters and histogram
+        buckets add), so fleet totals — wasted-update bytes, LAP scoring
+        counts, retransmissions — come out of the same registry the cells
+        wrote.  Returns ``None`` when no cell ran with ``obs_metrics``.
+        """
+        merged = None
+        for spec in self.specs:
+            result = self.results.get(spec.key)
+            snap = result.metrics if result is not None else None
+            if snap is None:
+                continue
+            merged = snap if merged is None else merged.merge(snap)
+        return merged
+
+    def metrics_summary(self) -> Optional[str]:
+        """Fleet-level aggregates rendered from the merged snapshots.
+
+        Per-cell gauges (hit *rates*, execution cycles) do not merge
+        meaningfully, so every derived quantity here is recomputed from
+        the merged raw counters.
+        """
+        snap = self.merged_metrics()
+        if snap is None:
+            return None
+        lines = ["sweep aggregates (merged per-cell metrics):"]
+        acquires = snap.total("lock.acquires")
+        lines.append(f"  lock acquires        {acquires:>14,.0f}")
+        scored = snap.total("lap.scored")
+        if scored:
+            hits = snap.total("lap.hits", variant="lap")
+            lines.append(f"  fleet LAP hit rate   {hits / scored:>14.3f} "
+                         f"({hits:,.0f}/{scored:,.0f} scored transfers)")
+        pushed = snap.total("lap.pushed_bytes")
+        wasted = snap.total("lap.wasted_bytes")
+        if pushed or wasted:
+            lines.append(f"  pushed update bytes  {pushed:>14,.0f}")
+            lines.append(f"  wasted update bytes  {wasted:>14,.0f}"
+                         + (f" ({100.0 * wasted / pushed:.1f}% of pushed)"
+                            if pushed else ""))
+        retries = snap.total("net.transport", event="retry")
+        if snap.values.get("net.transport"):
+            lines.append(f"  retransmissions      {retries:>14,.0f}")
+        injected = snap.total("net.faults.injected")
+        if injected:
+            lines.append(f"  injected faults      {injected:>14,.0f}")
+        return "\n".join(lines)
+
     def summary(self) -> str:
         parts = [f"{self.total} cells", f"{self.executed} executed",
                  f"{self.hits_disk} disk hits",

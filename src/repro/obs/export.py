@@ -56,8 +56,18 @@ def span_to_trace_event(span: Span,
 def chrome_trace(spans: Union[SpanRecorder, Iterable[Span]],
                  cycle_ns: float = DEFAULT_CYCLE_NS,
                  process_name: str = "repro-sim") -> Dict[str, Any]:
-    """A complete Chrome trace-event document for ``spans``."""
+    """A complete Chrome trace-event document for ``spans``.
+
+    Span events are emitted in ascending timestamp order (spans finish out
+    of start order, so the recorder's buffer is not already sorted), which
+    keeps every per-track event sequence monotonic.  When ``spans`` is a
+    :class:`SpanRecorder`, the ring buffer's eviction counts are surfaced
+    in ``otherData`` so a viewer can tell a complete capture from a
+    truncated one.
+    """
+    recorder: Optional[SpanRecorder] = None
     if isinstance(spans, SpanRecorder):
+        recorder = spans
         spans = list(spans.spans)
     else:
         spans = list(spans)
@@ -74,11 +84,18 @@ def chrome_trace(spans: Union[SpanRecorder, Iterable[Span]],
             "ph": "M", "pid": _PID, "tid": track, "name": "thread_sort_index",
             "args": {"sort_index": track},
         })
-    events.extend(span_to_trace_event(s, cycle_ns) for s in spans)
+    events.extend(span_to_trace_event(s, cycle_ns)
+                  for s in sorted(spans, key=lambda s: (s.start, s.track)))
+    other: Dict[str, Any] = {"cycle_ns": cycle_ns}
+    if recorder is not None:
+        other["spans_completed"] = recorder.completed
+        other["spans_dropped_total"] = recorder.dropped_total
+        other["spans_dropped_by_kind"] = {
+            kind: n for kind, n in sorted(recorder.dropped.items())}
     return {
         "traceEvents": events,
         "displayTimeUnit": "ms",
-        "otherData": {"cycle_ns": cycle_ns},
+        "otherData": other,
     }
 
 

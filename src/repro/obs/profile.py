@@ -58,22 +58,27 @@ class Profiler:
     def render(self, top: int = 25) -> str:
         if not self.sections:
             return "(no profile data)"
-        rows: List[Tuple[float, str, float]] = sorted(
-            ((sec, name, calls) for name, (calls, sec)
+        # sort by descending seconds with the name as a tiebreaker, so two
+        # runs with equal timings render identically (diffable reports)
+        rows: List[Tuple[str, float, float]] = sorted(
+            ((name, calls, sec) for name, (calls, sec)
              in self.sections.items()),
-            reverse=True)
-        total = sum(r[0] for r in rows)
+            key=lambda r: (-r[2], r[0]))
+        total = sum(r[2] for r in rows)
         out = [f"{'section':<28} {'calls':>10} {'seconds':>9} "
-               f"{'us/call':>9} {'share':>6}"]
-        for sec, name, calls in rows[:top]:
+               f"{'us/call':>9} {'share':>6} {'cum':>6}"]
+        cum = 0.0
+        for name, calls, sec in rows[:top]:
             per = 1e6 * sec / calls if calls else 0.0
             share = 100.0 * sec / total if total else 0.0
+            cum += share
             out.append(f"{name:<28} {int(calls):>10,} {sec:>9.3f} "
-                       f"{per:>9.1f} {share:>5.1f}%")
+                       f"{per:>9.1f} {share:>5.1f}% {cum:>5.1f}%")
         if len(rows) > top:
-            rest = sum(r[0] for r in rows[top:])
+            rest = sum(r[2] for r in rows[top:])
+            rest_share = 100.0 * rest / total if total else 0.0
             out.append(f"{'... ' + str(len(rows) - top) + ' more':<28} "
-                       f"{'':>10} {rest:>9.3f}")
+                       f"{'':>10} {rest:>9.3f} {'':>9} {rest_share:>5.1f}%")
         return "\n".join(out)
 
 

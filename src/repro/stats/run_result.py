@@ -35,8 +35,10 @@ class RunResult:
     wall_seconds: float = 0.0
     #: metrics snapshot (``obs.Snapshot``; None when obs_metrics is off)
     metrics: Optional[Any] = None
-    #: wall-clock profiler report, name -> {calls, seconds} (None when off)
-    profile: Optional[Dict[str, Dict[str, float]]] = None
+    #: wall-clock profiler report, name -> {calls, seconds}, plus an
+    #: ``"@host"`` entry recording the environment (peak RSS, CPU count,
+    #: interpreter, git revision); None when profiling is off
+    profile: Optional[Dict[str, Any]] = None
     #: consistency checker outcome (``check.CheckReport``; None when
     #: ``check_consistency`` is off)
     check_report: Optional[Any] = None

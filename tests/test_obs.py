@@ -447,3 +447,123 @@ class TestCli:
         rc = cli_main(["run", "--app", "is", "--scale", "test", "-v"])
         assert rc == 0
         assert "at 100 MHz" in capsys.readouterr().out
+
+
+# ---------------------------------------- trace export contract (satellite)
+
+class TestTraceExportContract:
+    """Schema validity, per-track monotonicity and drop accounting."""
+
+    def _recorded(self, capacity=None):
+        rec = SpanRecorder(capacity=capacity)
+        # interleaved begin/end so the buffer is NOT in start order
+        a = rec.begin(0, "barrier", "bar0", 100.0)
+        b = rec.begin(1, "lock.wait", "lk", 50.0)
+        rec.end(b, 150.0)
+        rec.end(a, 400.0)
+        c = rec.begin(0, "diff.create", "d", 10.0)
+        rec.end(c, 20.0)
+        rec.instant(1, "fault", "drop", 60.0)
+        return rec
+
+    def test_schema_valid_json(self):
+        doc = chrome_trace(self._recorded())
+        assert json.loads(json.dumps(doc)) == doc
+        assert set(doc) == {"traceEvents", "displayTimeUnit", "otherData"}
+        for e in doc["traceEvents"]:
+            assert e["ph"] in ("M", "X", "i")
+            assert isinstance(e["pid"], int)
+            if e["ph"] == "X":
+                assert e["dur"] >= 0 and "ts" in e and "cat" in e
+            if e["ph"] == "i":
+                assert e["s"] == "t"
+
+    def test_timestamps_monotonic_per_track(self):
+        doc = chrome_trace(self._recorded())
+        by_track = {}
+        for e in doc["traceEvents"]:
+            if e["ph"] in ("X", "i"):
+                by_track.setdefault(e["tid"], []).append(e["ts"])
+        assert len(by_track) == 2
+        for track, stamps in by_track.items():
+            assert stamps == sorted(stamps), f"track {track} not monotonic"
+
+    def test_monotonic_on_real_run(self, obs_result):
+        doc = chrome_trace(obs_result.extra["spans"])
+        by_track = {}
+        for e in doc["traceEvents"]:
+            if e["ph"] in ("X", "i"):
+                by_track.setdefault(e["tid"], []).append(e["ts"])
+        assert len(by_track) == obs_result.num_procs
+        for stamps in by_track.values():
+            assert stamps == sorted(stamps)
+
+    def test_drop_counts_in_metadata(self):
+        rec = self._recorded(capacity=2)  # 4 stored spans -> 2 evictions
+        doc = chrome_trace(rec)
+        other = doc["otherData"]
+        assert other["spans_completed"] == 4
+        assert other["spans_dropped_total"] == 2
+        assert sum(other["spans_dropped_by_kind"].values()) == 2
+
+    def test_plain_list_has_no_drop_metadata(self):
+        doc = chrome_trace(list(self._recorded().spans))
+        assert "spans_dropped_total" not in doc["otherData"]
+        assert doc["otherData"]["cycle_ns"] == DEFAULT_CYCLE_NS
+
+    def test_cli_trace_carries_drop_metadata(self, tmp_path):
+        out = tmp_path / "t.json"
+        rc = cli_main(["run", "--app", "is", "--scale", "test",
+                       "--trace-out", str(out)])
+        assert rc == 0
+        other = json.loads(out.read_text())["otherData"]
+        assert "spans_dropped_total" in other
+        assert other["spans_completed"] > 0
+
+
+# ------------------------------------------ profiler report (satellite)
+
+class TestProfilerReport:
+    def _profiler(self):
+        p = Profiler()
+        p.add("big", 3.0)
+        p.add("tie.b", 0.5)
+        p.add("tie.a", 0.5)
+        p.add("small", 1.0)
+        return p
+
+    def test_share_and_cumulative_columns(self):
+        text = self._profiler().render()
+        lines = text.splitlines()
+        assert "share" in lines[0] and "cum" in lines[0]
+        assert "60.0%" in lines[1]            # big = 3.0 / 5.0
+        assert lines[-1].rstrip().endswith("100.0%")
+
+    def test_sort_is_stable_on_ties(self):
+        lines = self._profiler().render().splitlines()
+        names = [ln.split()[0] for ln in lines[1:]]
+        assert names == ["big", "small", "tie.a", "tie.b"]
+        # equal-timing runs must render identically (diffable)
+        assert self._profiler().render() == self._profiler().render()
+
+    def test_top_truncates_with_remainder_share(self):
+        text = self._profiler().render(top=1)
+        lines = text.splitlines()
+        assert len(lines) == 3  # header, big, "... 3 more"
+        assert "3 more" in lines[-1]
+        assert "40.0%" in lines[-1]  # 2.0 of 5.0 hidden
+
+    def test_cli_profile_top(self, capsys):
+        rc = cli_main(["run", "--app", "is", "--scale", "test",
+                       "--profile", "--profile-top", "2"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "more" in out and "share" in out
+
+    def test_host_metadata_attached_to_profile(self):
+        r = run_app(make_app("is", "test"), "aec", SimConfig(profile=True))
+        host = r.profile["@host"]
+        assert host["cpu_count"] >= 1
+        assert host["peak_rss_bytes"] is None or \
+            host["peak_rss_bytes"] > 10 * 1024 * 1024
+        assert "python" in host and "git_rev" in host

@@ -264,3 +264,57 @@ class TestSweepCLI:
                      "--jobs", "2", "--cache-dir", cache_dir]) == 0
         assert "Table 2" in capsys.readouterr().out
         assert sw.DiskCache(cache_dir).keys()  # results were persisted
+
+
+# ----------------------------------------- sweep-level metrics (satellite)
+
+class TestSweepMetricsMerge:
+    def _report(self, jobs=1):
+        sw.clear_memory()
+        sw.set_cache_dir(None)
+        specs = [sw.make_spec("is", "test", p, obs_metrics=True)
+                 for p in ("aec", "tmk")]
+        return sw.run_sweep(specs, jobs=jobs), specs
+
+    def test_merged_equals_sum_of_cells(self):
+        report, specs = self._report()
+        merged = report.merged_metrics()
+        assert merged is not None
+        per_cell = [report.result_for(s).metrics for s in specs]
+        for series in ("lock.acquires", "lap.pushed_bytes",
+                       "lap.wasted_bytes", "lap.scored"):
+            assert merged.total(series) == \
+                sum(snap.total(series) for snap in per_cell)
+
+    def test_fleet_hit_rate_weighs_cells_by_scored(self):
+        report, specs = self._report()
+        merged = report.merged_metrics()
+        hits = merged.total("lap.hits", variant="lap")
+        scored = merged.total("lap.scored")
+        assert 0.0 <= hits / scored <= 1.0
+        summary = report.metrics_summary()
+        assert "fleet LAP hit rate" in summary
+        assert "wasted update bytes" in summary
+
+    def test_merge_survives_worker_processes(self):
+        serial, specs = self._report(jobs=1)
+        parallel, _ = self._report(jobs=2)
+        assert serial.merged_metrics().total("lap.pushed_bytes") == \
+            parallel.merged_metrics().total("lap.pushed_bytes")
+
+    def test_no_metrics_means_none(self):
+        sw.clear_memory()
+        sw.set_cache_dir(None)
+        specs = [sw.make_spec("is", "test", "aec")]
+        report = sw.run_sweep(specs, jobs=1)
+        assert report.merged_metrics() is None
+        assert report.metrics_summary() is None
+
+    def test_cli_metrics_flag(self, capsys):
+        sw.clear_memory()
+        sw.set_cache_dir(None)
+        assert main(["sweep", "table2", "--scale", "test", "--jobs", "1",
+                     "--metrics", "-v"]) == 0
+        out = capsys.readouterr().out
+        assert "sweep aggregates" in out
+        assert "fleet LAP hit rate" in out
