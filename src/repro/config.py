@@ -66,6 +66,19 @@ class MachineParams:
     #: timestamps are derived from this, never hardcoded
     cycle_ns: float = 10.0
 
+    def __post_init__(self) -> None:
+        # Memo tables for the pure cost helpers below.  The helpers sit on
+        # the simulator's per-fault/per-diff hot path and see a small set of
+        # distinct sizes per run (page-, line- and diff-shaped), so each
+        # result is computed once.  The tables are plain instance
+        # attributes, not dataclass fields: equality, hashing, ``replace``
+        # and ``asdict`` all ignore them, and a copy starts fresh.
+        object.__setattr__(self, "_memo_mem", {})
+        object.__setattr__(self, "_memo_io", {})
+        object.__setattr__(self, "_memo_twin", {})
+        object.__setattr__(self, "_memo_diff_create", {})
+        object.__setattr__(self, "_memo_diff_apply", {})
+
     @property
     def clock_hz(self) -> float:
         """Processor clock frequency implied by :attr:`cycle_ns`."""
@@ -87,24 +100,41 @@ class MachineParams:
     def net_bytes_per_cycle(self) -> float:
         return self.net_path_bits / 8.0
 
-    # ---- derived cost helpers -------------------------------------------
+    # ---- derived cost helpers (memoized; see __post_init__) -------------
 
     def mem_access_cycles(self, nwords: int) -> float:
         """One memory transaction touching ``nwords`` words."""
-        if nwords <= 0:
-            return 0.0
-        return self.mem_setup_cycles + self.mem_cycles_per_word * nwords
+        cached = self._memo_mem.get(nwords)
+        if cached is None:
+            if nwords <= 0:
+                cached = 0.0
+            else:
+                cached = self.mem_setup_cycles + \
+                    self.mem_cycles_per_word * nwords
+            self._memo_mem[nwords] = cached
+        return cached
 
     def io_transfer_cycles(self, nbytes: int) -> float:
         """Moving ``nbytes`` over the local I/O bus (NIC <-> memory)."""
-        if nbytes <= 0:
-            return 0.0
-        nwords = math.ceil(nbytes / self.word_bytes)
-        return self.io_setup_cycles + self.io_cycles_per_word * nwords
+        cached = self._memo_io.get(nbytes)
+        if cached is None:
+            if nbytes <= 0:
+                cached = 0.0
+            else:
+                nwords = math.ceil(nbytes / self.word_bytes)
+                cached = self.io_setup_cycles + \
+                    self.io_cycles_per_word * nwords
+            self._memo_io[nbytes] = cached
+        return cached
 
     def twin_cycles(self, nwords: int) -> float:
         """Creating a twin of ``nwords`` words (copy + 2 memory accesses)."""
-        return self.twin_cycles_per_word * nwords + 2 * self.mem_access_cycles(nwords)
+        cached = self._memo_twin.get(nwords)
+        if cached is None:
+            cached = self.twin_cycles_per_word * nwords \
+                + 2 * self.mem_access_cycles(nwords)
+            self._memo_twin[nwords] = cached
+        return cached
 
     def diff_create_cycles(self, modified_words: int) -> float:
         """Creating a diff: 7 cycles per *modified* word plus the memory
@@ -116,12 +146,22 @@ class MachineParams:
         the word-by-word comparison is assumed to be overlapped with the
         streaming reads (see DESIGN.md).
         """
-        n = max(modified_words, 1)
-        return self.diff_cycles_per_word * n + 2 * self.mem_access_cycles(n)
+        cached = self._memo_diff_create.get(modified_words)
+        if cached is None:
+            n = max(modified_words, 1)
+            cached = self.diff_cycles_per_word * n \
+                + 2 * self.mem_access_cycles(n)
+            self._memo_diff_create[modified_words] = cached
+        return cached
 
     def diff_apply_cycles(self, diff_words: int) -> float:
         """Applying a diff touches only the words encoded in it."""
-        return self.diff_cycles_per_word * diff_words + self.mem_access_cycles(diff_words)
+        cached = self._memo_diff_apply.get(diff_words)
+        if cached is None:
+            cached = self.diff_cycles_per_word * diff_words \
+                + self.mem_access_cycles(diff_words)
+            self._memo_diff_apply[diff_words] = cached
+        return cached
 
     def list_cycles(self, nelements: int) -> float:
         return self.list_cycles_per_element * nelements

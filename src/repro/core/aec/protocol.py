@@ -143,7 +143,7 @@ class AECNode(ProtocolNode):
         """Account a buffered eager push that is (partly) thrown away."""
         self.world.diff_stats.diffs_wasted += len(pu.diffs) - len(pu.applied)
         unused = pu.unused_bytes
-        if unused:
+        if unused and self._metrics_on:
             self._m_lap_wasted_bytes.inc(unused, lock=pu.lock_id,
                                          reason=reason)
         if pu.span:
@@ -271,8 +271,15 @@ class AECNode(ProtocolNode):
         yield from self.apply_diff_timed(diff, category, hidden_behind)
         if diff.nwords:
             stamps = self._word_stamps(meta)
-            stamps[diff.offsets] = np.maximum(stamps[diff.offsets],
-                                              self.step << 24)
+            offsets = diff.offsets
+            floor = self.step << 24
+            if len(offsets) == 1:
+                # scalar fast path: single-word diffs dominate in practice
+                off = offsets[0]
+                if stamps[off] < floor:
+                    stamps[off] = floor
+            else:
+                stamps[offsets] = np.maximum(stamps[offsets], floor)
 
     def _apply_outside_diff(self, pn: int, diff: Diff, category: str,
                             hidden_behind: Optional[Future] = None
@@ -285,20 +292,36 @@ class AECNode(ProtocolNode):
         yield Delay(cycles, category)
         end = self.now()
         stamps = self._word_stamps(meta)
-        mask = diff.acquire_counter > stamps[diff.offsets]
-        if (meta.twin is not None and pn in self.outside_dirty_set
-                and diff.acquire_counter < ((meta.dirty_since_step + 1) << 24)):
-            # don't clobber words we modified locally in this epoch or later
-            # and have not frozen yet; a diff from a genuinely newer barrier
-            # step still wins (its writer synchronized with our value first)
-            mask &= page[diff.offsets] == meta.twin[diff.offsets]
-        offs = diff.offsets[mask]
-        if len(offs):
-            page[offs] = diff.values[mask]
-            stamps[offs] = diff.acquire_counter
-            if meta.twin is not None:
-                meta.twin[offs] = diff.values[mask]
-            self.hw.page_updated(self.page_addr(pn), self.page_words())
+        counter = diff.acquire_counter
+        local_guard = (meta.twin is not None and pn in self.outside_dirty_set
+                       and counter < ((meta.dirty_since_step + 1) << 24))
+        # don't clobber words we modified locally in this epoch or later
+        # and have not frozen yet; a diff from a genuinely newer barrier
+        # step still wins (its writer synchronized with our value first)
+        if diff.nwords == 1:
+            # scalar fast path: single-word diffs dominate in practice
+            off = diff.offsets[0]
+            wins = counter > stamps[off]
+            if wins and local_guard:
+                wins = page[off] == meta.twin[off]
+            if wins:
+                value = diff.values[0]
+                page[off] = value
+                stamps[off] = counter
+                if meta.twin is not None:
+                    meta.twin[off] = value
+                self.hw.page_updated(self.page_addr(pn), self.page_words())
+        else:
+            mask = counter > stamps[diff.offsets]
+            if local_guard:
+                mask &= page[diff.offsets] == meta.twin[diff.offsets]
+            offs = diff.offsets[mask]
+            if len(offs):
+                page[offs] = diff.values[mask]
+                stamps[offs] = counter
+                if meta.twin is not None:
+                    meta.twin[offs] = diff.values[mask]
+                self.hw.page_updated(self.page_addr(pn), self.page_words())
         checker = self.world.checker
         if checker.enabled:
             checker.note_transfer("diff", dst=self.node_id, page=pn,
@@ -500,7 +523,8 @@ class AECNode(ProtocolNode):
         grant: GrantInfo = yield Wait(fut, "synch")
         self._grant_futs.pop(lock_id, None)
         self.span_end(wait_span, lock=lock_id, in_upset=grant.in_update_set)
-        self._m_lock_wait.observe(self.now() - wait_start, lock=lock_id)
+        if self._metrics_on:
+            self._m_lock_wait.observe(self.now() - wait_start, lock=lock_id)
         self._hold_start[lock_id] = self.now()
         self._hold_spans[lock_id] = self.span_begin(
             "lock.hold", f"lock{lock_id}.hold", lock=lock_id)
@@ -678,8 +702,9 @@ class AECNode(ProtocolNode):
                 "sender": self.node_id,
                 "diffs": diffs,
             }
-            self._m_lap_pushes.inc(1, lock=lock_id)
-            self._m_lap_pushed_bytes.inc(nbytes, lock=lock_id)
+            if self._metrics_on:
+                self._m_lap_pushes.inc(1, lock=lock_id)
+                self._m_lap_pushed_bytes.inc(nbytes, lock=lock_id)
             yield Send(q, Message("aec.upset_diffs", payload, nbytes),
                        "synch")
         self.world.trace.record(self.now(), self.node_id, "lock.release",
@@ -707,7 +732,7 @@ class AECNode(ProtocolNode):
         self.span_end(self._hold_spans.pop(lock_id, 0),
                       pushed_to=len(sess.update_set))
         start = self._hold_start.pop(lock_id, None)
-        if start is not None:
+        if start is not None and self._metrics_on:
             self._m_lock_hold.observe(self.now() - start, lock=lock_id)
 
     # ===================================================== barriers (program)
@@ -759,7 +784,8 @@ class AECNode(ProtocolNode):
         payload = yield Wait(complete_fut, "synch")
         self._bar_complete_fut = None
         self.span_end(bar_span, step=payload["step"])
-        self._m_barrier_wait.observe(self.now() - bar_start)
+        if self._metrics_on:
+            self._m_barrier_wait.observe(self.now() - bar_start)
         self.world.trace.record(self.now(), self.node_id, "barrier.complete",
                                 step=payload["step"])
         yield from self._post_barrier_cleanup(payload)
@@ -861,7 +887,7 @@ class AECNode(ProtocolNode):
             # outdated set: discard (the acquire-counter stamp decides)
             self.world.diff_stats.diffs_wasted += len(p["diffs"])
             wasted = sum(d.size_bytes for d in p["diffs"].values())
-            if wasted:
+            if wasted and self._metrics_on:
                 self._m_lap_wasted_bytes.inc(wasted, lock=lock_id,
                                              reason="outdated")
             yield Delay(self.machine.list_cycles(len(p["diffs"])), "ipc")

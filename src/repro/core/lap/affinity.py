@@ -33,21 +33,23 @@ class AffinityMatrix:
 
     def affinity_set(self, src: int, threshold: float) -> List[int]:
         """Processors with affinity > (1 + threshold) * mean, best first."""
-        row = self._counts[src].astype(np.float64).copy()
-        row[src] = 0.0
-        others = np.delete(row, src)
-        if others.size == 0 or others.sum() == 0:
+        # called on every lock grant (manager + shadow predictors): work on
+        # a plain list, no numpy temporaries for a 16-element row
+        row = self._counts[src].tolist()
+        row[src] = 0
+        total = sum(row)
+        if self.num_procs <= 1 or total == 0:
             return []
-        mean = others.mean()
+        mean = total / (self.num_procs - 1)
         cut = (1.0 + threshold) * mean
-        candidates = [q for q in range(self.num_procs)
-                      if q != src and row[q] >= cut and row[q] > 0]
+        candidates = [q for q, v in enumerate(row)
+                      if q != src and v >= cut and v > 0]
         candidates.sort(key=lambda q: (-row[q], q))
         return candidates
 
     def positive_set(self, src: int) -> List[int]:
         """Processors with any past transfer from ``src``, best first."""
-        row = self._counts[src]
-        candidates = [q for q in range(self.num_procs) if q != src and row[q] > 0]
+        row = self._counts[src].tolist()
+        candidates = [q for q, v in enumerate(row) if q != src and v > 0]
         candidates.sort(key=lambda q: (-row[q], q))
         return candidates

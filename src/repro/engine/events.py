@@ -15,10 +15,16 @@ The engine understands exactly three primitives:
 
 Higher layers (the application API, the DSM protocols) are written as
 generators that yield these primitives, composed with ``yield from``.
+
+These objects are created millions of times per run, so they are plain
+``__slots__`` classes with hand-written constructors rather than
+dataclasses: no ``__dict__`` per instance, no ``__post_init__`` dispatch,
+and category validation is a single frozenset membership test.  The engine
+dispatches on ``type(op)`` identity, which is why these classes are not
+meant to be subclassed.
 """
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any
 
 if TYPE_CHECKING:
@@ -28,42 +34,61 @@ if TYPE_CHECKING:
 #: breakdown categories, matching Figure 4 of the paper
 CATEGORIES = ("busy", "data", "synch", "ipc", "others")
 
+#: frozenset mirror of :data:`CATEGORIES` for O(1) validation on creation
+_CATEGORY_SET = frozenset(CATEGORIES)
 
-@dataclass(frozen=True)
+
 class Delay:
-    cycles: float
-    category: str = "busy"
+    __slots__ = ("cycles", "category")
 
-    def __post_init__(self) -> None:
-        if self.cycles < 0:
-            raise ValueError(f"negative delay: {self.cycles}")
-        if self.category not in CATEGORIES:
-            raise ValueError(f"unknown category: {self.category}")
+    def __init__(self, cycles: float, category: str = "busy") -> None:
+        if cycles < 0:
+            raise ValueError(f"negative delay: {cycles}")
+        if category not in _CATEGORY_SET:
+            raise ValueError(f"unknown category: {category}")
+        self.cycles = cycles
+        self.category = category
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Delay(cycles={self.cycles!r}, category={self.category!r})"
+
+    def __eq__(self, other: Any) -> bool:
+        if not isinstance(other, Delay):
+            return NotImplemented
+        return self.cycles == other.cycles and self.category == other.category
+
+    __hash__ = None  # type: ignore[assignment]
 
 
-@dataclass(frozen=True)
 class Send:
-    dst: int
-    message: "Message"
-    #: category the sender-side overhead is charged to
-    category: str = "busy"
+    __slots__ = ("dst", "message", "category")
 
-    def __post_init__(self) -> None:
-        if self.category not in CATEGORIES:
-            raise ValueError(f"unknown category: {self.category}")
+    def __init__(self, dst: int, message: "Message",
+                 category: str = "busy") -> None:
+        if category not in _CATEGORY_SET:
+            raise ValueError(f"unknown category: {category}")
+        self.dst = dst
+        self.message = message
+        self.category = category
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Send(dst={self.dst!r}, message={self.message!r}, "
+                f"category={self.category!r})")
 
 
-@dataclass(frozen=True)
 class Wait:
-    future: "Future"
-    category: str = "synch"
+    __slots__ = ("future", "category")
 
-    def __post_init__(self) -> None:
-        if self.category not in CATEGORIES:
-            raise ValueError(f"unknown category: {self.category}")
+    def __init__(self, future: "Future", category: str = "synch") -> None:
+        if category not in _CATEGORY_SET:
+            raise ValueError(f"unknown category: {category}")
+        self.future = future
+        self.category = category
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Wait(future={self.future!r}, category={self.category!r})"
 
 
-@dataclass(frozen=True)
 class Resolve:
     """Resolve a future at the current simulated instant (zero cost).
 
@@ -71,8 +96,14 @@ class Resolve:
     arrived") with the correct in-service timestamp.
     """
 
-    future: "Future"
-    value: Any = None
+    __slots__ = ("future", "value")
+
+    def __init__(self, future: "Future", value: Any = None) -> None:
+        self.future = future
+        self.value = value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Resolve(future={self.future!r}, value={self.value!r})"
 
 
 EnginePrimitive = Any  # Delay | Send | Wait | Resolve

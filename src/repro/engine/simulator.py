@@ -17,13 +17,23 @@ Timing/accounting model (categories follow Figure 4 of the paper):
   receive-side I/O-bus transfer (``ipc``) before the handler's own delays;
 * ``Wait(fut, cat)`` charges the blocked duration *minus* any ISR cycles that
   ran during the window (those were already charged to ``ipc``/``others``).
+
+Hot-path architecture (see DESIGN.md §11): event kinds are interned small
+integers, event records are plain ``(time, seq, kind, payload)`` tuples
+ordered by ``(time, seq)``, and scheduling is two-tier — a sorted FIFO
+*ready run* absorbs pushes that arrive in non-decreasing time order (the
+overwhelmingly common case: a node's next delay end, a chain of arrivals)
+at O(1) instead of O(log n) heap cost, while out-of-order pushes fall back
+to the heap.  The dispatch loop merges the two sources by ``(time, seq)``,
+so the processed event sequence — and therefore every simulated number —
+is identical to a single-heap implementation.
 """
 from __future__ import annotations
 
 import heapq
-import itertools
+from collections import deque
 from time import perf_counter
-from typing import Any, Callable, Dict, Generator, List, Optional, Tuple
+from typing import Any, Callable, Dict, Generator, List, Optional
 
 from repro.config import MachineParams, SimConfig
 from repro.engine.events import CATEGORIES, Delay, Resolve, Send, Wait
@@ -33,6 +43,15 @@ from repro.faults.stats import NetFaultStats
 from repro.network.message import Message
 from repro.network.network import Network
 from repro.obs.profile import Profiler
+
+#: interned event kinds: heap/ready entries carry one of these integers
+EV_DELAY_END = 0
+EV_ARRIVAL = 1
+EV_WAKE = 2
+EV_CALL = 3
+
+#: profiler labels per interned kind (index == kind)
+_EV_NAMES = ("event.delay_end", "event.arrival", "event.wake", "event.call")
 
 
 class SimulationError(RuntimeError):
@@ -103,13 +122,25 @@ class Simulator:
         self.nodes: List[_NodeRuntime] = [
             _NodeRuntime(i) for i in range(self.machine.num_procs)
         ]
-        self._heap: List[Tuple[float, int, str, Any]] = []
-        self._seq = itertools.count()
+        #: out-of-order event store, entries are (time, seq, kind, payload)
+        self._heap: List[tuple] = []
+        #: sorted FIFO fast path for in-order pushes (same entry layout)
+        self._ready: deque = deque()
+        self._seq = 0
         self.now = 0.0
         self.events_processed = 0
         #: wall-clock seconds spent inside :meth:`run` (set when it returns)
         self.run_wall_seconds = 0.0
         self._started = False
+        # hoisted machine costs (attribute lookups kept off the event loop)
+        m = self.machine
+        self._interrupt_cycles = float(m.interrupt_cycles)
+        self._messaging_overhead = float(m.messaging_overhead_cycles)
+        #: payload_bytes -> receive-side I/O transfer cycles
+        self._io_cost: Dict[int, float] = {0: 0.0}
+        #: payload_bytes -> sender-side cost (overhead + I/O transfer)
+        self._send_cost_cache: Dict[int, float] = {
+            0: self._messaging_overhead}
         #: network-fault counters; None unless a fault plan is configured
         self.net_stats: Optional[NetFaultStats] = (
             NetFaultStats(plan=config.faults.name,
@@ -147,41 +178,63 @@ class Simulator:
         if self.injector.enabled:
             for stall in self.config.faults.stalls:
                 if stall.node < len(self.nodes):
-                    self._push(stall.at, "call",
+                    self._push(stall.at, EV_CALL,
                                lambda s=stall: self._apply_stall(s))
         for node in self.nodes:
             if node.gen is not None:
                 self._step_program(node, None)
         limit = self.config.max_events
         prof = self.profiler
-        while self._heap:
-            time, _, kind, payload = heapq.heappop(self._heap)
-            if time < self.now - 1e-9:
-                raise SimulationError(f"time went backwards: {time} < {self.now}")
-            self.now = max(self.now, time)
-            self.events_processed += 1
-            if self.events_processed > limit:
+        # everything the dispatch loop touches every iteration is a local
+        heap = self._heap
+        ready = self._ready
+        pop_ready = ready.popleft
+        heappop = heapq.heappop
+        nodes = self.nodes
+        step_program = self._step_program
+        deliver = self._deliver
+        wake = self._wake
+        timer = perf_counter
+        now = self.now
+        events = self.events_processed
+        while heap or ready:
+            if ready and (not heap or ready[0] < heap[0]):
+                event = pop_ready()
+            else:
+                event = heappop(heap)
+            time = event[0]
+            if time < now - 1e-9:
+                raise SimulationError(
+                    f"time went backwards: {time} < {now}")
+            if time > now:
+                now = time
+                self.now = time
+            events += 1
+            if events > limit:
+                self.events_processed = events
                 raise SimulationError(f"exceeded max_events={limit}")
-            t0 = perf_counter() if prof is not None else 0.0
-            if kind == "delay_end":
-                node_id, seq = payload
-                node = self.nodes[node_id]
-                if node.state != "delaying" or seq != node.delay_seq:
-                    continue  # stale (delay was stretched by an ISR)
-                node.clock = node.delay_end
-                node.state = "ready"
-                self._step_program(node, None)
-            elif kind == "arrival":
-                self._deliver(payload)
-            elif kind == "wake":
-                node_id, fut = payload
-                self._wake(self.nodes[node_id], fut)
-            elif kind == "call":
-                payload()
+            kind = event[2]
+            t0 = timer() if prof is not None else 0.0
+            if kind == EV_DELAY_END:
+                node_id, seq = event[3]
+                node = nodes[node_id]
+                if node.state == "delaying" and seq == node.delay_seq:
+                    node.clock = node.delay_end
+                    node.state = "ready"
+                    step_program(node, None)
+                # else stale: the delay was stretched by an ISR
+            elif kind == EV_ARRIVAL:
+                deliver(event[3])
+            elif kind == EV_WAKE:
+                node_id, fut = event[3]
+                wake(nodes[node_id], fut)
+            elif kind == EV_CALL:
+                event[3]()
             else:  # pragma: no cover - defensive
                 raise SimulationError(f"unknown event kind {kind!r}")
             if prof is not None:
-                prof.add("event." + kind, perf_counter() - t0)
+                prof.add(_EV_NAMES[kind], timer() - t0)
+        self.events_processed = events
         self.run_wall_seconds = perf_counter() - run_t0
         for node in self.nodes:
             if node.state != "done":
@@ -219,8 +272,20 @@ class Simulator:
 
     # ------------------------------------------------------- program driving
 
-    def _push(self, time: float, kind: str, payload: Any) -> None:
-        heapq.heappush(self._heap, (time, next(self._seq), kind, payload))
+    def _push(self, time: float, kind: int, payload: Any) -> None:
+        """Schedule an event; ``(time, seq)`` totally orders dispatch.
+
+        The sorted ready run takes any push that keeps it non-decreasing in
+        time (sequence numbers already increase monotonically); everything
+        else goes to the heap.  The run loop merges both by ``(time, seq)``,
+        so dispatch order is exactly that of a single heap.
+        """
+        self._seq += 1
+        ready = self._ready
+        if not ready or time >= ready[-1][0]:
+            ready.append((time, self._seq, kind, payload))
+        else:
+            heapq.heappush(self._heap, (time, self._seq, kind, payload))
 
     def schedule_call(self, time: float, fn: Callable[[], None]) -> None:
         """Run ``fn()`` on the event loop at simulated time ``time``.
@@ -229,7 +294,7 @@ class Simulator:
         fault injector (scheduled node stalls); never by protocols on the
         fault-free path, so faults-off event streams are unchanged.
         """
-        self._push(max(time, self.now), "call", fn)
+        self._push(max(time, self.now), EV_CALL, fn)
 
     def _apply_stall(self, stall: Any) -> None:
         """Freeze a node: an uninterruptible zero-work ISR of ``cycles``.
@@ -246,7 +311,7 @@ class Simulator:
         if node.state == "delaying":
             node.delay_end += stall.cycles
             node.delay_seq += 1
-            self._push(node.delay_end, "delay_end",
+            self._push(node.delay_end, EV_DELAY_END,
                        (node.node_id, node.delay_seq))
         stats = self.net_stats
         if stats is not None:
@@ -260,41 +325,48 @@ class Simulator:
 
     def _step_program(self, node: _NodeRuntime, value: Any) -> None:
         """Advance a node's program task until it blocks, delays or finishes."""
+        send = node.gen.send
+        breakdown = node.breakdown
         while True:
             try:
-                op = node.gen.send(value)
+                op = send(value)
             except StopIteration:
                 node.state = "done"
                 node.done_time = node.clock
                 return
             value = None
-            if isinstance(op, Delay):
-                if op.cycles <= 0:
-                    node.charge(op.category, op.cycles)
+            cls = type(op)
+            if cls is Delay:
+                cycles = op.cycles
+                breakdown[op.category] += cycles
+                if cycles <= 0:
                     continue
-                node.charge(op.category, op.cycles)
                 node.state = "delaying"
-                node.delay_end = node.clock + op.cycles
+                end = node.clock + cycles
+                node.delay_end = end
                 node.delay_seq += 1
-                self._push(node.delay_end, "delay_end", (node.node_id, node.delay_seq))
+                self._push(end, EV_DELAY_END, (node.node_id, node.delay_seq))
                 return
-            if isinstance(op, Send):
-                cost = self._send_cost(op.message)
-                node.charge(op.category, cost)
+            if cls is Send:
+                msg = op.message
+                cost = self._send_cost(msg)
+                breakdown[op.category] += cost
                 if cost > 0:
                     # model the send as an interruptible delay whose completion
                     # injects the message
                     node.state = "delaying"
-                    node.delay_end = node.clock + cost
+                    end = node.clock + cost
+                    node.delay_end = end
                     node.delay_seq += 1
-                    self._push(node.delay_end, "delay_end", (node.node_id, node.delay_seq))
+                    self._push(end, EV_DELAY_END,
+                               (node.node_id, node.delay_seq))
                     # inject at the (possibly later, if interrupted) send end;
                     # we bind injection to nominal end: acceptable approximation
-                    self._inject(node.node_id, op.dst, op.message, node.delay_end)
+                    self._inject(node.node_id, op.dst, msg, end)
                     return
-                self._inject(node.node_id, op.dst, op.message, node.clock)
+                self._inject(node.node_id, op.dst, msg, node.clock)
                 continue
-            if isinstance(op, Wait):
+            if cls is Wait:
                 fut = op.future
                 if fut.done:
                     value = fut.value
@@ -305,11 +377,11 @@ class Simulator:
                 node.wait_category = op.category
                 fut.on_resolve(
                     lambda f, nid=node.node_id: self._push(
-                        max(f.resolve_time, self.now), "wake", (nid, f)
+                        max(f.resolve_time, self.now), EV_WAKE, (nid, f)
                     )
                 )
                 return
-            if isinstance(op, Resolve):
+            if cls is Resolve:
                 op.future.resolve(op.value, node.clock)
                 continue
             raise SimulationError(f"program yielded unknown op {op!r}")
@@ -320,7 +392,9 @@ class Simulator:
         wake_time = max(fut.resolve_time, node.isr_busy_until, node.wait_start)
         duration = wake_time - node.wait_start
         overlap = node.isr_cycles_total - node.wait_isr_snapshot
-        node.charge(node.wait_category, max(0.0, duration - overlap))
+        charged = duration - overlap
+        if charged > 0.0:
+            node.breakdown[node.wait_category] += charged
         node.clock = wake_time
         node.state = "ready"
         self._step_program(node, fut.value)
@@ -328,8 +402,20 @@ class Simulator:
     # ----------------------------------------------------------- networking
 
     def _send_cost(self, msg: Message) -> float:
-        m = self.machine
-        return m.messaging_overhead_cycles + m.io_transfer_cycles(msg.payload_bytes)
+        nbytes = msg.payload_bytes
+        cost = self._send_cost_cache.get(nbytes)
+        if cost is None:
+            cost = self._messaging_overhead + \
+                self.machine.io_transfer_cycles(nbytes)
+            self._send_cost_cache[nbytes] = cost
+        return cost
+
+    def _recv_io_cost(self, nbytes: int) -> float:
+        cost = self._io_cost.get(nbytes)
+        if cost is None:
+            cost = self.machine.io_transfer_cycles(nbytes)
+            self._io_cost[nbytes] = cost
+        return cost
 
     def _inject(self, src: int, dst: int, msg: Message, time: float) -> None:
         self.nodes[src].messages_sent += 1
@@ -339,7 +425,7 @@ class Simulator:
             # loopback (e.g. node is its own manager): no network transit;
             # also exempt from the transport — a message to self cannot be
             # lost, duplicated or reordered
-            self._push(time, "arrival", msg)
+            self._push(time, EV_ARRIVAL, msg)
             return
         if self.transport.enabled:
             self.transport.on_send(msg, time)
@@ -358,16 +444,17 @@ class Simulator:
         if not self.injector.enabled:
             arrival = self.network.deliver(msg.src, msg.dst,
                                            msg.total_bytes, time)
-            self._push(arrival, "arrival", msg)
+            self._push(arrival, EV_ARRIVAL, msg)
             return
         for delivered, extra in self.injector.fates(msg, time):
             arrival = self.network.deliver(msg.src, msg.dst,
                                            msg.total_bytes, time)
             if delivered:
-                self._push(arrival + extra, "arrival", msg)
+                self._push(arrival + extra, EV_ARRIVAL, msg)
 
     def _deliver(self, msg: Message) -> None:
-        if self.transport.enabled and not self.transport.on_arrival(msg):
+        transport = self.transport
+        if transport.enabled and not transport.on_arrival(msg):
             # NIC-level frame: an ack, a duplicate, or a late retransmission
             # of something already applied — suppressed below the CPU, so
             # no interrupt cost and no message counted for the node
@@ -377,31 +464,36 @@ class Simulator:
         handler = node.handler
         if handler is None:
             raise SimulationError(f"node {msg.dst} has no message handler")
-        m = self.machine
-        vstart = max(self.now, node.isr_busy_until)
+        breakdown = node.breakdown
+        vstart = self.now
+        busy_until = node.isr_busy_until
+        if busy_until > vstart:
+            vstart = busy_until
         vtime = vstart
         if msg.src != msg.dst:
-            node.charge("others", m.interrupt_cycles)
-            vtime += m.interrupt_cycles
-            recv_io = m.io_transfer_cycles(msg.payload_bytes)
-            node.charge("ipc", recv_io)
-            vtime += recv_io
+            entry = self._interrupt_cycles
+            breakdown["others"] += entry
+            recv_io = self._recv_io_cost(msg.payload_bytes)
+            breakdown["ipc"] += recv_io
+            vtime += entry + recv_io
         prof = self.profiler
         h0 = perf_counter() if prof is not None else 0.0
         gen = handler(msg)
         if gen is not None:
             for op in gen:
-                if isinstance(op, Delay):
-                    node.charge(op.category, op.cycles)
+                cls = type(op)
+                if cls is Delay:
+                    breakdown[op.category] += op.cycles
                     vtime += op.cycles
-                elif isinstance(op, Send):
-                    cost = self._send_cost(op.message)
-                    node.charge(op.category, cost)
+                elif cls is Send:
+                    m = op.message
+                    cost = self._send_cost(m)
+                    breakdown[op.category] += cost
                     vtime += cost
-                    self._inject(node.node_id, op.dst, op.message, vtime)
-                elif isinstance(op, Resolve):
+                    self._inject(node.node_id, op.dst, m, vtime)
+                elif cls is Resolve:
                     op.future.resolve(op.value, vtime)
-                elif isinstance(op, Wait):
+                elif cls is Wait:
                     raise SimulationError(
                         "interrupt handlers must not block (yielded Wait)"
                     )
@@ -416,4 +508,5 @@ class Simulator:
             # the interrupt stole cycles from the in-progress delay
             node.delay_end += service
             node.delay_seq += 1
-            self._push(node.delay_end, "delay_end", (node.node_id, node.delay_seq))
+            self._push(node.delay_end, EV_DELAY_END,
+                       (node.node_id, node.delay_seq))

@@ -4,8 +4,21 @@ Accesses arrive as word ranges (the application API issues block references),
 so the tag check is vectorized over the covered lines with NumPy — exact
 direct-mapped behaviour at a fraction of the per-word simulation cost.
 Addresses are *word* addresses in the global shared segment space.
+
+Two hot-path refinements over the naive vectorization (semantics are
+bit-identical; the tag update for a given access is computed against the
+pre-access tag state either way):
+
+* accesses covering one or two lines (single-word and small-block
+  references, the bulk of app inner loops) run a scalar path with no NumPy
+  temporaries at all;
+* larger ranges reuse memoized ``(lines, sets)`` index arrays per
+  ``(first_line, last_line)`` shape — app loops touch the same block
+  shapes over and over, so the ``np.arange``/modulo work is paid once.
 """
 from __future__ import annotations
+
+from typing import Dict, Tuple
 
 import numpy as np
 
@@ -21,11 +34,26 @@ class DirectMappedCache:
         self._tags = np.full(self.num_lines, -1, dtype=np.int64)
         self.hits = 0
         self.misses = 0
+        #: (first, last) -> (lines, sets) index arrays, shared and read-only
+        self._range_cache: Dict[Tuple[int, int], Tuple[np.ndarray,
+                                                       np.ndarray]] = {}
+        self._line_fill_cycles = machine.mem_access_cycles(
+            self.words_per_line)
 
     def _lines_of(self, addr: int, nwords: int) -> np.ndarray:
         first = addr // self.words_per_line
         last = (addr + nwords - 1) // self.words_per_line
-        return np.arange(first, last + 1, dtype=np.int64)
+        return self._line_range(first, last)[0]
+
+    def _line_range(self, first: int,
+                    last: int) -> Tuple[np.ndarray, np.ndarray]:
+        key = (first, last)
+        cached = self._range_cache.get(key)
+        if cached is None:
+            lines = np.arange(first, last + 1, dtype=np.int64)
+            cached = (lines, lines % self.num_lines)
+            self._range_cache[key] = cached
+        return cached
 
     def access(self, addr: int, nwords: int) -> int:
         """Touch ``nwords`` words at ``addr``; returns the number of line misses.
@@ -34,12 +62,28 @@ class DirectMappedCache:
         """
         if nwords <= 0:
             return 0
-        lines = self._lines_of(addr, nwords)
-        sets = lines % self.num_lines
-        miss_mask = self._tags[sets] != lines
+        wpl = self.words_per_line
+        first = addr // wpl
+        last = (addr + nwords - 1) // wpl
+        tags = self._tags
+        if last - first <= 1:
+            # scalar fast path: at most two lines, distinct sets guaranteed
+            # (duplicate sets need a range spanning the whole cache)
+            num_lines = self.num_lines
+            nmiss = 0
+            for line in (first, last) if last > first else (first,):
+                s = line % num_lines
+                if tags[s] != line:
+                    tags[s] = line
+                    nmiss += 1
+            self.hits += last - first + 1 - nmiss
+            self.misses += nmiss
+            return nmiss
+        lines, sets = self._line_range(first, last)
+        miss_mask = tags[sets] != lines
         nmiss = int(miss_mask.sum())
         if nmiss:
-            self._tags[sets[miss_mask]] = lines[miss_mask]
+            tags[sets[miss_mask]] = lines[miss_mask]
         self.hits += len(lines) - nmiss
         self.misses += nmiss
         return nmiss
@@ -48,10 +92,20 @@ class DirectMappedCache:
         """Drop any cached lines covering the range (page received/updated)."""
         if nwords <= 0:
             return
-        lines = self._lines_of(addr, nwords)
-        sets = lines % self.num_lines
-        match = self._tags[sets] == lines
-        self._tags[sets[match]] = -1
+        wpl = self.words_per_line
+        first = addr // wpl
+        last = (addr + nwords - 1) // wpl
+        tags = self._tags
+        if last - first <= 1:
+            num_lines = self.num_lines
+            for line in (first, last) if last > first else (first,):
+                s = line % num_lines
+                if tags[s] == line:
+                    tags[s] = -1
+            return
+        lines, sets = self._line_range(first, last)
+        match = tags[sets] == lines
+        tags[sets[match]] = -1
 
     def line_fill_cycles(self) -> float:
-        return self.machine.mem_access_cycles(self.words_per_line)
+        return self._line_fill_cycles

@@ -1,18 +1,34 @@
 """Assembly of one node's hardware model and its access-cost computation."""
 from __future__ import annotations
 
-from dataclasses import dataclass
-
 from repro.config import MachineParams
 from repro.machine.cache import DirectMappedCache
 from repro.machine.tlb import TLB
 from repro.machine.write_buffer import WriteBuffer
 
 
-@dataclass
 class AccessCost:
-    busy: float      # issue cycles (1/word), useful work
-    others: float    # TLB fills + cache-miss fills + write-buffer stalls
+    """Cycle cost of one shared reference (plain ``__slots__`` class —
+    these are created once per access on the hot path)."""
+
+    __slots__ = ("busy", "others")
+
+    def __init__(self, busy: float, others: float) -> None:
+        self.busy = busy      # issue cycles (1/word), useful work
+        self.others = others  # TLB fills + miss fills + write-buffer stalls
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"AccessCost(busy={self.busy!r}, others={self.others!r})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, AccessCost):
+            return NotImplemented
+        return self.busy == other.busy and self.others == other.others
+
+    __hash__ = None  # type: ignore[assignment]
+
+
+_ZERO_COST = AccessCost(0.0, 0.0)
 
 
 class NodeHardware:
@@ -23,19 +39,23 @@ class NodeHardware:
         self.cache = DirectMappedCache(machine)
         self.tlb = TLB(machine)
         self.write_buffer = WriteBuffer(machine)
+        # constants hoisted off the per-access path
+        self._tlb_fill_cycles = self.tlb.fill_cycles()
+        self._line_fill_cycles = self.cache.line_fill_cycles()
 
     def access(self, addr: int, nwords: int, is_write: bool) -> AccessCost:
         """Cost of a validated shared reference of ``nwords`` at ``addr``."""
         if nwords <= 0:
-            return AccessCost(0.0, 0.0)
+            return _ZERO_COST
         tlb_fills = self.tlb.access(addr, nwords)
         misses = self.cache.access(addr, nwords)
-        others = tlb_fills * self.tlb.fill_cycles()
+        others = tlb_fills * self._tlb_fill_cycles
         if is_write:
-            others += self.write_buffer.store_burst_stall(nwords, misses)
-        else:
-            others += misses * self.cache.line_fill_cycles()
-        return AccessCost(busy=float(nwords), others=others)
+            if misses:
+                others += self.write_buffer.store_burst_stall(nwords, misses)
+        elif misses:
+            others += misses * self._line_fill_cycles
+        return AccessCost(float(nwords), others)
 
     def page_updated(self, page_addr: int, nwords: int) -> None:
         """A page's memory contents changed underneath the cache (diff apply,

@@ -15,15 +15,20 @@ class WriteBuffer:
         self.machine = machine
         self.entries = machine.write_buffer_entries
         self.stall_cycles_total = 0.0
+        # drain rate and buffer slack are machine constants; precompute them
+        self._line_drain_cycles = machine.mem_access_cycles(
+            machine.words_per_line)
+        self._buffer_slack = self.entries * self._line_drain_cycles
 
     def store_burst_stall(self, nwords: int, line_misses: int) -> float:
         """Stall cycles for a bulk store of ``nwords`` with ``line_misses``."""
         if line_misses <= 0:
             return 0.0
-        m = self.machine
-        drain = line_misses * m.mem_access_cycles(m.words_per_line)
-        issue = float(nwords)  # 1 cycle/word issue rate
-        slack = issue + self.entries * m.mem_access_cycles(m.words_per_line)
-        stall = max(0.0, drain - slack)
+        drain = line_misses * self._line_drain_cycles
+        # issue time of the burst itself (1 cycle/word) plus buffer capacity
+        slack = nwords + self._buffer_slack
+        stall = drain - slack
+        if stall <= 0.0:
+            return 0.0
         self.stall_cycles_total += stall
         return stall

@@ -5,11 +5,25 @@ A diff records the word offsets that differ between a page and its *twin*
 values.  Diff size in bytes is ``8 * nwords`` (4-byte offset + 4-byte value
 per encoded word), matching run-length-free encodings used by TreadMarks-era
 systems closely enough for the paper's size statistics.
+
+This module is the simulator's diff *data plane* — diff creation, merge,
+and apply account for a large share of host time in diff-based protocol
+runs — so the implementations are allocation-lean:
+
+* :func:`create_diff` encodes with exactly the two arrays it returns (fancy
+  indexing already allocates; no extra defensive copy);
+* :func:`merge_diffs` builds the last-writer-wins union with one stable
+  sort and a run-boundary mask instead of an ``np.isin`` membership scan;
+* :func:`apply_diffs` scatters a whole batch of diffs into a page with a
+  single fancy-index assignment (NumPy assigns duplicate indices in order,
+  so later diffs win — exactly the sequential semantics).
+
+Offsets within one diff are unique (``create_diff`` and ``merge_diffs``
+both guarantee this); the merge fast path relies on that invariant.
 """
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Iterable, Optional
+from typing import Any, Iterable, List, Optional
 
 import numpy as np
 
@@ -17,20 +31,44 @@ import numpy as np
 BYTES_PER_ENTRY = 8
 
 
-@dataclass
 class Diff:
-    page_number: int
-    offsets: np.ndarray          # int32 word offsets within the page
-    values: np.ndarray           # float64 new values
-    #: lock-acquire counter stamped on merged diffs sent to update sets, so
-    #: receivers can discard outdated sets (Section 3.2 of the paper)
-    acquire_counter: int = 0
-    #: node that created the (last merge of the) diff
-    origin: int = -1
+    """One page's encoded modifications (plain ``__slots__`` class —
+    created and copied on the protocol hot path)."""
 
-    def __post_init__(self) -> None:
-        if len(self.offsets) != len(self.values):
+    __slots__ = ("page_number", "offsets", "values", "acquire_counter",
+                 "origin")
+
+    def __init__(self, page_number: int, offsets: np.ndarray,
+                 values: np.ndarray, acquire_counter: int = 0,
+                 origin: int = -1) -> None:
+        if len(offsets) != len(values):
             raise ValueError("offsets/values length mismatch")
+        self.page_number = page_number
+        #: int32 word offsets within the page (unique)
+        self.offsets = offsets
+        #: float64 new values
+        self.values = values
+        #: lock-acquire counter stamped on merged diffs sent to update sets,
+        #: so receivers can discard outdated sets (Section 3.2 of the paper)
+        self.acquire_counter = acquire_counter
+        #: node that created the (last merge of the) diff
+        self.origin = origin
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Diff(page={self.page_number}, nwords={self.nwords}, "
+                f"acquire_counter={self.acquire_counter}, "
+                f"origin={self.origin})")
+
+    def __eq__(self, other: Any) -> bool:
+        if not isinstance(other, Diff):
+            return NotImplemented
+        return (self.page_number == other.page_number
+                and self.acquire_counter == other.acquire_counter
+                and self.origin == other.origin
+                and np.array_equal(self.offsets, other.offsets)
+                and np.array_equal(self.values, other.values))
+
+    __hash__ = None  # type: ignore[assignment]
 
     @property
     def nwords(self) -> int:
@@ -38,14 +76,14 @@ class Diff:
 
     @property
     def size_bytes(self) -> int:
-        return BYTES_PER_ENTRY * self.nwords
+        return BYTES_PER_ENTRY * len(self.offsets)
 
     @property
     def empty(self) -> bool:
-        return self.nwords == 0
+        return len(self.offsets) == 0
 
     def apply(self, page: np.ndarray) -> None:
-        if self.nwords:
+        if len(self.offsets):
             page[self.offsets] = self.values
 
     def copy(self) -> "Diff":
@@ -59,10 +97,12 @@ def create_diff(page_number: int, twin: np.ndarray, current: np.ndarray,
     if twin.shape != current.shape:
         raise ValueError("twin/page shape mismatch")
     changed = np.nonzero(twin != current)[0]
+    # both arrays below are fresh allocations (astype copies, fancy
+    # indexing gathers) — the diff never aliases the live page
     return Diff(
         page_number,
         changed.astype(np.int32),
-        current[changed].copy(),
+        current[changed],
         origin=origin,
     )
 
@@ -83,18 +123,40 @@ def merge_diffs(older: Optional[Diff], newer: Diff) -> Diff:
         out.acquire_counter = newer.acquire_counter
         out.origin = newer.origin
         return out
-    # keep older entries not overwritten by newer ones, then newer entries
-    keep = ~np.isin(older.offsets, newer.offsets)
-    offsets = np.concatenate([older.offsets[keep], newer.offsets])
-    values = np.concatenate([older.values[keep], newer.values])
+    # Concatenate older + newer and stable-sort by offset: entries from
+    # ``newer`` land after colliding ``older`` entries, so keeping the last
+    # entry of each equal-offset run implements newer-wins without the
+    # O(n*m) membership scan of np.isin.
+    offsets = np.concatenate([older.offsets, newer.offsets])
+    values = np.concatenate([older.values, newer.values])
     order = np.argsort(offsets, kind="stable")
-    return Diff(newer.page_number, offsets[order].astype(np.int32),
-                values[order], newer.acquire_counter, newer.origin)
+    offsets = offsets[order]
+    n = len(offsets)
+    keep = np.empty(n, dtype=bool)
+    keep[-1] = True
+    np.not_equal(offsets[1:], offsets[:-1], out=keep[:-1])
+    return Diff(newer.page_number, offsets[keep], values[order][keep],
+                newer.acquire_counter, newer.origin)
 
 
 def apply_diffs(page: np.ndarray, diffs: Iterable[Diff]) -> None:
-    for d in diffs:
-        d.apply(page)
+    """Apply ``diffs`` to ``page`` in order (later diffs win on overlap).
+
+    Batches the whole sequence into a single scatter: NumPy fancy-index
+    assignment stores duplicate indices in order, so the last write to an
+    offset — the latest diff's — is the one that sticks, exactly as if the
+    diffs were applied one by one.
+    """
+    nonempty: List[Diff] = [d for d in diffs if len(d.offsets)]
+    if not nonempty:
+        return
+    if len(nonempty) == 1:
+        d = nonempty[0]
+        page[d.offsets] = d.values
+        return
+    offsets = np.concatenate([d.offsets for d in nonempty])
+    values = np.concatenate([d.values for d in nonempty])
+    page[offsets] = values
 
 
 def total_diff_words(diffs: Iterable[Diff]) -> int:

@@ -39,7 +39,9 @@ class PageStore:
                     raise ValueError("content has wrong page size")
                 arr = np.array(content, dtype=np.float64, copy=True)
             self._pages[page_number] = arr
-        elif content is not None:
+        elif content is not None and content is not arr:
+            # protocols sometimes "refresh" a page from the very array the
+            # store handed out earlier; copying onto itself is a no-op
             arr[:] = content
         return arr
 
@@ -53,10 +55,29 @@ class PageStore:
         return self._pages.keys()
 
     def read(self, addr: int, nwords: int) -> np.ndarray:
-        """Gather a word range (may span pages) into one array."""
+        """Gather a word range (may span pages) into one fresh array."""
+        wpp = self.words_per_page
+        pn, off = divmod(addr, wpp)
+        if off + nwords <= wpp:
+            # single-page fast path: one slice copy, no divmod loop
+            return self.page(pn)[off:off + nwords].copy()
         out = np.empty(nwords, dtype=np.float64)
         self._gather(addr, nwords, out)
         return out
+
+    def read_view(self, addr: int, nwords: int) -> np.ndarray:
+        """Zero-copy view of a word range that fits within one page.
+
+        The returned array aliases the live page: treat it as **read-only**
+        and consume it before the page can change (no yielding back into
+        the simulator while holding it).  Callers whose range may span a
+        page boundary must use :meth:`read`, which this falls back to.
+        """
+        wpp = self.words_per_page
+        pn, off = divmod(addr, wpp)
+        if off + nwords <= wpp:
+            return self.page(pn)[off:off + nwords]
+        return self.read(addr, nwords)
 
     def _gather(self, addr: int, nwords: int, out: np.ndarray) -> None:
         wpp = self.words_per_page

@@ -6,29 +6,48 @@ transfers on both ends.  A fixed header models the protocol envelope.
 """
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Any
 
 #: bytes of protocol header carried by every message
 HEADER_BYTES = 32
 
 
-@dataclass
 class Message:
-    kind: str
-    payload: Any = None
-    payload_bytes: int = 0
-    src: int = -1
-    dst: int = -1
-    #: per-(src, dst, kind) sequence number stamped by the reliable
-    #: transport; -1 = untracked (loopback, or transport disabled)
-    seq: int = -1
-    #: free-form tag for debugging / statistics
-    tag: Any = field(default=None, compare=False)
+    """One message; a plain ``__slots__`` class (hot-path allocation).
 
-    def __post_init__(self) -> None:
-        if self.payload_bytes < 0:
+    Fields: ``kind`` (dispatch key), ``payload`` (arbitrary protocol data),
+    ``payload_bytes`` (drives all timing), ``src``/``dst`` (stamped by the
+    engine at injection), ``seq`` (per-(src, dst, kind) sequence number
+    stamped by the reliable transport; -1 = untracked — loopback, or
+    transport disabled) and ``tag`` (free-form debugging tag, excluded
+    from equality).
+    """
+
+    __slots__ = ("kind", "payload", "payload_bytes", "src", "dst", "seq",
+                 "tag")
+
+    def __init__(self, kind: str, payload: Any = None, payload_bytes: int = 0,
+                 src: int = -1, dst: int = -1, seq: int = -1,
+                 tag: Any = None) -> None:
+        if payload_bytes < 0:
             raise ValueError("payload_bytes must be >= 0")
+        self.kind = kind
+        self.payload = payload
+        self.payload_bytes = payload_bytes
+        self.src = src
+        self.dst = dst
+        self.seq = seq
+        self.tag = tag
+
+    def __eq__(self, other: Any) -> bool:
+        if not isinstance(other, Message):
+            return NotImplemented
+        return (self.kind == other.kind and self.payload == other.payload
+                and self.payload_bytes == other.payload_bytes
+                and self.src == other.src and self.dst == other.dst
+                and self.seq == other.seq)
+
+    __hash__ = None  # type: ignore[assignment]
 
     @property
     def total_bytes(self) -> int:

@@ -6,11 +6,18 @@ Contention is modelled at the two endpoints, as in the paper ("network
 contention effects are modeled both at the source and destination of
 messages"): the source injection link is held for the streaming duration, and
 the destination ejection link drains messages one at a time.
+
+``deliver`` sits on the per-message hot path, so the invariant parts of the
+timing are memoized: header latency per (src, dst) pair (topology distance
+never changes) and streaming cycles per message size (a run uses a handful
+of distinct sizes).  Per-pair traffic counters accumulate in a plain dict
+and materialize into NumPy matrices on demand — a dict upsert is several
+times cheaper than a NumPy scalar ``+=`` per message.
 """
 from __future__ import annotations
 
 import math
-from typing import List
+from typing import Dict, List, Tuple
 
 from repro.config import MachineParams
 
@@ -25,15 +32,38 @@ class Network:
         self._dst_free: List[float] = [0.0] * machine.num_procs
         self.messages = 0
         self.bytes = 0
+        self._bytes_per_cycle = machine.net_bytes_per_cycle
+        self._hop_cycles = float(machine.switch_cycles + machine.wire_cycles)
+        #: (src, dst) -> header latency in cycles (hops * per-hop cost)
+        self._header_cycles: Dict[Tuple[int, int], float] = {}
+        #: nbytes -> streaming cycles
+        self._stream_cycles: Dict[int, float] = {}
+        #: (src, dst) -> [message count, byte count]
+        self._pair: Dict[Tuple[int, int], List[int]] = {}
+
+    @property
+    def pair_messages(self):
+        """Per-(src, dst) message counts (who talks to whom) as a matrix."""
+        return self._pair_matrix(0)
+
+    @property
+    def pair_bytes(self):
+        return self._pair_matrix(1)
+
+    def _pair_matrix(self, which: int):
         import numpy as np
-        #: per-(src, dst) message counts (who talks to whom)
-        self.pair_messages = np.zeros(
-            (machine.num_procs, machine.num_procs), dtype=np.int64)
-        self.pair_bytes = np.zeros(
-            (machine.num_procs, machine.num_procs), dtype=np.int64)
+        n = self.machine.num_procs
+        out = np.zeros((n, n), dtype=np.int64)
+        for (src, dst), counts in self._pair.items():
+            out[src, dst] = counts[which]
+        return out
 
     def stream_cycles(self, nbytes: int) -> float:
-        return math.ceil(nbytes / self.machine.net_bytes_per_cycle)
+        cached = self._stream_cycles.get(nbytes)
+        if cached is None:
+            cached = float(math.ceil(nbytes / self._bytes_per_cycle))
+            self._stream_cycles[nbytes] = cached
+        return cached
 
     def deliver(self, src: int, dst: int, nbytes: int, time: float) -> float:
         """Reserve links and return the delivery completion time at ``dst``.
@@ -50,18 +80,31 @@ class Network:
         """
         if src == dst:
             return time
-        m = self.machine
-        stream = self.stream_cycles(nbytes)
-        start = max(time, self._src_free[src])
-        self._src_free[src] = start + stream
-        header_arrival = start + self.mesh.hops(src, dst) * (
-            m.switch_cycles + m.wire_cycles
-        )
-        drain_start = max(header_arrival, self._dst_free[dst])
+        stream = self._stream_cycles.get(nbytes)
+        if stream is None:
+            stream = self.stream_cycles(nbytes)
+        src_free = self._src_free
+        start = src_free[src]
+        if time > start:
+            start = time
+        src_free[src] = start + stream
+        pair = (src, dst)
+        header = self._header_cycles.get(pair)
+        if header is None:
+            header = self.mesh.hops(src, dst) * self._hop_cycles
+            self._header_cycles[pair] = header
+        header_arrival = start + header
+        drain_start = self._dst_free[dst]
+        if header_arrival > drain_start:
+            drain_start = header_arrival
         delivery = drain_start + stream
         self._dst_free[dst] = delivery
         self.messages += 1
         self.bytes += nbytes
-        self.pair_messages[src, dst] += 1
-        self.pair_bytes[src, dst] += nbytes
+        counts = self._pair.get(pair)
+        if counts is None:
+            self._pair[pair] = [1, nbytes]
+        else:
+            counts[0] += 1
+            counts[1] += nbytes
         return delivery

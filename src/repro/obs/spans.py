@@ -36,7 +36,7 @@ SPAN_KINDS = {
 }
 
 
-@dataclass
+@dataclass(slots=True)
 class Span:
     """One closed (or truncated-open) interval on a node's track."""
 

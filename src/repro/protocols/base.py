@@ -264,6 +264,10 @@ class ProtocolNode:
             "faults", "page faults by kind")
         self._m_fault_cycles = world.obs.metrics.histogram(
             "fault.cycles", "cycles spent resolving one page fault")
+        #: cached obs flags — checked on every fault/diff, so the dispatch
+        #: must be a single attribute load, not a chain through world.obs
+        self._metrics_on = world.obs.metrics.enabled
+        self._trace = world.trace
         self.store = PageStore(self.machine.words_per_page)
         self.hw = NodeHardware(self.machine)
         self.pages: Dict[int, PageMeta] = {}
@@ -366,9 +370,10 @@ class ProtocolNode:
         diff = create_diff(pn, meta.twin, self.store.page(pn), origin=self.node_id)
         hidden = self._hidden_portion(start, end, cycles, hidden_behind)
         self.world.diff_stats.record_create(diff.size_bytes, cycles, hidden)
-        self.world.trace.record(end, self.node_id, "diff.create",
-                                page=pn, bytes=diff.size_bytes,
-                                hidden=hidden > 0)
+        trace = self._trace
+        if trace.enabled:
+            trace.record(end, self.node_id, "diff.create",
+                         page=pn, bytes=diff.size_bytes, hidden=hidden > 0)
         spans = self.obs.spans
         if spans.enabled:
             sid = spans.begin(self.node_id, "diff.create",
@@ -468,13 +473,15 @@ class ProtocolNode:
     def _timed_fault(self, pn: int, is_write: bool) -> Generator:
         meta = self.page(pn)
         t0 = self.now()
-        self.world.trace.record(t0, self.node_id,
-                                "fault.write" if is_write else "fault.read",
-                                page=pn, cold=not meta.ever_valid,
-                                in_cs=self.in_critical_section())
+        in_cs = self.in_critical_section()
+        trace = self._trace
+        if trace.enabled:
+            trace.record(t0, self.node_id,
+                         "fault.write" if is_write else "fault.read",
+                         page=pn, cold=not meta.ever_valid, in_cs=in_cs)
         if not meta.ever_valid:
             self.fault_stats.cold_faults += 1
-        if self.in_critical_section():
+        if in_cs:
             self.fault_stats.inside_cs_faults += 1
         if is_write:
             if meta.valid:
@@ -483,8 +490,9 @@ class ProtocolNode:
                 self.fault_stats.write_faults += 1
         else:
             self.fault_stats.read_faults += 1
-        self._m_faults.inc(1, kind="write" if is_write else "read",
-                           cold="yes" if not meta.ever_valid else "no")
+        if self._metrics_on:
+            self._m_faults.inc(1, kind="write" if is_write else "read",
+                               cold="yes" if not meta.ever_valid else "no")
         # page-fault trap entry
         yield Delay(self.machine.interrupt_cycles, "data")
         if is_write:
@@ -494,7 +502,8 @@ class ProtocolNode:
         meta.ever_valid = meta.ever_valid or meta.valid
         cycles = self.now() - t0
         self.fault_stats.fault_cycles += cycles
-        self._m_fault_cycles.observe(cycles)
+        if self._metrics_on:
+            self._m_fault_cycles.observe(cycles)
 
     # --------------------------------------------- protocol-specific pieces
 

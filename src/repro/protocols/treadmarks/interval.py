@@ -4,8 +4,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
+from bisect import insort
 
-@dataclass(frozen=True)
+
+@dataclass(frozen=True, slots=True)
 class IntervalRecord:
     """A closed interval of one writer: its write notices travel as a unit."""
 
@@ -20,7 +22,13 @@ class IntervalRecord:
 
 
 class IntervalLog:
-    """All interval records a node knows, indexed by writer."""
+    """All interval records a node knows, indexed by writer.
+
+    Per-writer lists stay sorted by interval index.  Records almost always
+    arrive in index order, so ``add`` appends in O(1); the rare
+    out-of-order record is placed with a bisect insertion instead of
+    re-sorting the whole list.
+    """
 
     def __init__(self, num_procs: int) -> None:
         self._by_writer: Dict[int, List[IntervalRecord]] = {
@@ -30,21 +38,24 @@ class IntervalLog:
     def add(self, rec: IntervalRecord) -> bool:
         """Insert a record; returns False if already known."""
         lst = self._by_writer[rec.writer]
+        if not lst or lst[-1].index < rec.index:
+            lst.append(rec)
+            return True
         for existing in reversed(lst):
             if existing.index == rec.index:
                 return False
             if existing.index < rec.index:
                 break
-        lst.append(rec)
-        lst.sort(key=lambda r: r.index)
+        insort(lst, rec, key=lambda r: r.index)
         return True
 
     def newer_than(self, vc: List[int]) -> List[IntervalRecord]:
         """Records the holder of vector clock ``vc`` has not seen."""
         out: List[IntervalRecord] = []
         for writer, lst in self._by_writer.items():
+            threshold = vc[writer]
             for rec in lst:
-                if rec.index >= vc[writer]:
+                if rec.index >= threshold:
                     out.append(rec)
         out.sort(key=lambda r: (r.stamp, r.writer, r.index))
         return out
