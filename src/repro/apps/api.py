@@ -42,6 +42,8 @@ class AppContext:
     def __init__(self, node: ProtocolNode, seed: int) -> None:
         self._node = node
         self._checker = node.world.checker
+        #: app-level event recorder (``repro.fuzz.trace``); None when off
+        self._tap = node.world.app_tap
         self.proc = node.node_id
         self.nprocs = node.machine.num_procs
         self.rng = np.random.default_rng((seed, node.node_id))
@@ -50,16 +52,22 @@ class AppContext:
 
     def compute(self, cycles: float) -> Generator:
         """Private computation: instructions + private accesses, 1 cy each."""
+        if self._tap is not None:
+            self._tap.rec(self.proc, ("cmp", float(cycles)))
         yield Delay(float(cycles), "busy")
 
     # ---- shared memory -----------------------------------------------------
 
     def read(self, seg: Segment, start: int, n: int) -> Generator:
         seg.check_range(start, n)
+        if self._tap is not None:
+            self._tap.rec(self.proc, ("rd", seg.name, start, n))
         data = yield from self._node.read(seg.base + start, n)
         return data
 
     def read1(self, seg: Segment, index: int) -> Generator:
+        if self._tap is not None:
+            self._tap.rec(self.proc, ("rd", seg.name, index, 1))
         data = yield from self._node.read(seg.addr(index), 1)
         return float(data[0])
 
@@ -67,9 +75,14 @@ class AppContext:
               values: Sequence[float]) -> Generator:
         values = np.asarray(values, dtype=np.float64)
         seg.check_range(start, len(values))
+        if self._tap is not None:
+            self._tap.rec(self.proc,
+                          ("wr", seg.name, start, tuple(map(float, values))))
         yield from self._node.write(seg.base + start, values)
 
     def write1(self, seg: Segment, index: int, value: float) -> Generator:
+        if self._tap is not None:
+            self._tap.rec(self.proc, ("wr", seg.name, index, (float(value),)))
         yield from self._node.write(seg.addr(index),
                                     np.asarray([value], dtype=np.float64))
 
@@ -87,16 +100,22 @@ class AppContext:
     # completes, barrier arrival before entering / departure after leaving.
 
     def acquire(self, lock_id: int) -> Generator:
+        if self._tap is not None:
+            self._tap.rec(self.proc, ("acq", lock_id))
         yield from self._node.acquire(lock_id)
         if self._checker.enabled:
             self._checker.on_acquire(self.proc, lock_id)
 
     def release(self, lock_id: int) -> Generator:
+        if self._tap is not None:
+            self._tap.rec(self.proc, ("rel", lock_id))
         if self._checker.enabled:
             self._checker.on_release(self.proc, lock_id)
         yield from self._node.release(lock_id)
 
     def barrier(self, barrier_id: int) -> Generator:
+        if self._tap is not None:
+            self._tap.rec(self.proc, ("bar", barrier_id))
         if self._checker.enabled:
             self._checker.on_barrier_arrive(self.proc)
         yield from self._node.barrier(barrier_id)
@@ -105,6 +124,8 @@ class AppContext:
 
     def acquire_notice(self, lock_id: int) -> Generator:
         """Announce intent to acquire soon (LAP's virtual-queue input)."""
+        if self._tap is not None:
+            self._tap.rec(self.proc, ("ntc", lock_id))
         yield from self._node.acquire_notice(lock_id)
 
 

@@ -8,12 +8,26 @@ parameter presets.
 * ``scale="bench"`` — reduced sizes preserving the sharing/synchronization
   structure, used by the benchmark harness (minutes, not hours).
 * ``scale="test"`` — small sizes for the test suite (seconds).
+
+The registry is pluggable in two ways:
+
+* :func:`register_app` adds a named preset table, making the new app a
+  first-class citizen of ``repro run/check/sweep``.
+* :func:`register_resolver` claims a ``prefix:`` namespace of app ids.
+  Built-in resolvers: ``fuzz:SEED`` (generated workload),
+  ``trace:PATH`` (recorded-trace replay) and ``image:INNER`` (wrap any
+  app id in a final-memory-capturing oracle shim).  Resolution happens
+  inside :func:`make_app`, so prefixed ids flow through the sweep cache
+  and the multiprocessing fan-out unchanged.
 """
 from __future__ import annotations
 
-from typing import Callable, Dict
+from typing import Callable, Dict, Optional, TYPE_CHECKING
 
 from repro.apps.api import Application
+
+if TYPE_CHECKING:
+    from repro.config import SimConfig
 from repro.apps.fft import FFTApp
 from repro.apps.is_sort import ISApp
 from repro.apps.ocean import OceanApp
@@ -63,8 +77,77 @@ _PRESETS: Dict[str, Dict[str, Callable[[], Application]]] = {
 APP_NAMES = tuple(_PRESETS)
 SCALES = ("paper", "bench", "test")
 
+#: prefix -> resolver(rest, scale, config) for ``prefix:rest`` app ids
+_RESOLVERS: Dict[str, Callable[..., Application]] = {}
 
-def make_app(name: str, scale: str = "bench") -> Application:
+
+def register_app(name: str,
+                 presets: Dict[str, Callable[[], Application]]) -> None:
+    """Register (or replace) a named app with per-scale factories."""
+    global APP_NAMES
+    missing = [s for s in SCALES if s not in presets]
+    if missing:
+        raise ValueError(f"app {name!r} presets missing scales {missing}")
+    _PRESETS[name] = dict(presets)
+    APP_NAMES = tuple(_PRESETS)
+
+
+def register_resolver(prefix: str,
+                      resolver: Callable[..., Application]) -> None:
+    """Claim the ``prefix:`` app-id namespace.
+
+    ``resolver(rest, scale, config)`` must return an Application for ids
+    of the form ``prefix:rest``.  ``config`` is the SimConfig the app will
+    run under (or None when resolution happens outside a run).
+    """
+    _RESOLVERS[prefix] = resolver
+
+
+def _resolve_fuzz(rest: str, scale: str,
+                  config: Optional["SimConfig"]) -> Application:
+    from repro.fuzz.generator import GeneratedApp, generate_spec, load_spec
+    if config is not None and config.workload is not None:
+        spec = config.workload
+        # the id and the config must agree on which workload this is —
+        # a mismatch means a stale config was reused for a different cell
+        if rest not in (str(spec.seed), spec.name, f"fuzz:{spec.seed}"):
+            raise ValueError(
+                f"app id 'fuzz:{rest}' does not match config.workload "
+                f"(seed {spec.seed})")
+        return GeneratedApp(spec)
+    if rest.isdigit() or (rest.startswith("-") and rest[1:].isdigit()):
+        return GeneratedApp(generate_spec(int(rest), scale))
+    return GeneratedApp(load_spec(rest, scale))
+
+
+def _resolve_trace(rest: str, scale: str,
+                   config: Optional["SimConfig"]) -> Application:
+    from repro.fuzz.trace import TraceApp
+    return TraceApp(rest)
+
+
+def _resolve_image(rest: str, scale: str,
+                   config: Optional["SimConfig"]) -> Application:
+    from repro.check.oracle import MemoryImageApp
+    return MemoryImageApp(make_app(rest, scale, config=config))
+
+
+_RESOLVERS.update(fuzz=_resolve_fuzz, trace=_resolve_trace,
+                  image=_resolve_image)
+
+
+def make_app(name: str, scale: str = "bench",
+             config: Optional["SimConfig"] = None) -> Application:
+    """Build the application named ``name`` at ``scale``.
+
+    ``name`` is either a preset key (``"is"``, ``"ocean"``, ...) or a
+    prefixed id handled by a registered resolver (``"fuzz:17"``,
+    ``"trace:run.jsonl"``, ``"image:fuzz:17"``).  ``config`` is consulted
+    only by resolvers (e.g. ``fuzz:`` prefers ``config.workload``).
+    """
+    prefix, _, rest = name.partition(":")
+    if rest and prefix in _RESOLVERS:
+        return _RESOLVERS[prefix](rest, scale, config)
     try:
         presets = _PRESETS[name]
     except KeyError:

@@ -15,6 +15,7 @@ from typing import TYPE_CHECKING, Any, Dict, Optional
 
 if TYPE_CHECKING:  # runtime import would cycle: faults.injector imports config
     from repro.faults.plan import FaultPlan
+    from repro.fuzz.generator import WorkloadSpec
 
 
 @dataclass(frozen=True)
@@ -232,6 +233,15 @@ class SimConfig:
     #: numbers, acks, retransmission) and thus perturbs timing.  Part of
     #: the canonical config: every distinct plan is a distinct cache key.
     faults: Optional["FaultPlan"] = None
+    #: generated-workload identity (``repro.fuzz``): when set, app ids
+    #: ``fuzz``/``fuzz:SEED`` compile exactly this spec.  Pure frozen data,
+    #: so it survives ``asdict`` and lands in the canonical config — every
+    #: (workload, fault-seed) combination is a distinct sweep cache cell.
+    workload: Optional["WorkloadSpec"] = None
+    #: record the run's app-level event stream (reads/writes/sync/compute)
+    #: to this JSON-lines file for later replay (``repro.fuzz.trace``);
+    #: empty = off.  Pure observation: simulated numbers are unaffected.
+    record_trace: str = ""
     #: safety valve: abort runs exceeding this many simulated events
     max_events: int = 50_000_000
 
@@ -266,6 +276,30 @@ def config_digest(config: SimConfig) -> str:
     payload = json.dumps(canonical_config_dict(config), sort_keys=True,
                          separators=(",", ":"))
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def config_from_dict(doc: Dict[str, Any]) -> SimConfig:
+    """Rebuild a :class:`SimConfig` from its canonical dict.
+
+    Inverse of :func:`canonical_config_dict` (trace headers and corpus
+    files store that form): nested machine parameters, fault plans and
+    workload specs are reconstructed into their dataclasses, so
+    ``config_digest(config_from_dict(d)) == config_digest(original)``.
+    """
+    doc = dict(doc)
+    machine = doc.pop("machine", None)
+    faults = doc.pop("faults", None)
+    workload = doc.pop("workload", None)
+    kwargs: Dict[str, Any] = dict(doc)
+    if machine is not None:
+        kwargs["machine"] = MachineParams(**machine)
+    if faults is not None:
+        from repro.faults.plan import plan_from_dict
+        kwargs["faults"] = plan_from_dict(faults)
+    if workload is not None:
+        from repro.fuzz.generator import spec_from_dict
+        kwargs["workload"] = spec_from_dict(workload)
+    return SimConfig(**kwargs)
 
 
 DEFAULT_MACHINE = MachineParams()

@@ -111,6 +111,11 @@ class AECBarrierManager:
                 self.copyset.setdefault(pg, set()).add(info.node)
             for pg in info.lost_valid:
                 self.validset.setdefault(pg, set()).discard(info.node)
+                # losing validity proves the node holds a (now stale)
+                # copy: without this, a copy gained and invalidated in
+                # the same step is invisible to the stale marking below
+                # and crosses the barrier with dangling recovery state
+                self.copyset.setdefault(pg, set()).add(info.node)
 
         instr = {p: BarrierInstructions(step=self.step) for p in arrivals}
 
@@ -134,31 +139,35 @@ class AECBarrierManager:
             self.validset[pg] = set(ws)
             self.copyset.setdefault(pg, set()).update(ws)
 
-        # 3. lock-protected modifications: for *every lock*, the lock's last
-        #    owner (highest acquire counter) pushes its merged diffs to the
-        #    remaining valid holders of each covered page (the same page may
-        #    carry several locks' diffs — word-disjoint under EC); stale
-        #    copy holders are told to refetch the page on their next fault
+        # 3. lock-protected modifications: for every (lock, page), the
+        #    *latest session holding that page's diff* (highest acquire
+        #    counter among sessions whose covered|modified includes it)
+        #    pushes its merged diffs to the remaining valid holders (the
+        #    same page may carry several locks' diffs — word-disjoint under
+        #    EC); stale copy holders are told to refetch on their next
+        #    fault.  Per-page resolution matters: the lock's overall last
+        #    owner may never have touched (or received a diff for) a page
+        #    an earlier holder modified — taking the last owner for *all*
+        #    of the lock's pages would silently drop that page's epoch.
         lock_pages: Dict[int, Set[int]] = {}
-        # lock -> (counter, owner node, covered|modified pages)
-        last_owner: Dict[int, Tuple[int, int, Set[int]]] = {}
+        # (lock, page) -> (counter, owner node)
+        page_owner: Dict[Tuple[int, int], Tuple[int, int]] = {}
         for info in arrivals.values():
             for lock, (counter, modified, covered) in info.lock_sessions.items():
                 lock_pages.setdefault(lock, set()).update(modified)
-                pages = set(covered) | set(modified)
-                cur = last_owner.get(lock)
-                if cur is None or counter > cur[0]:
-                    last_owner[lock] = (counter, info.node, pages)
+                for pg in set(covered) | set(modified):
+                    cur = page_owner.get((lock, pg))
+                    if cur is None or counter > cur[0]:
+                        page_owner[(lock, pg)] = (counter, info.node)
         send_groups: Dict[Tuple[int, int, int], List[int]] = {}
         cs_owners: Dict[int, Set[int]] = {}
-        for lock, (counter, owner, pages) in sorted(last_owner.items()):
-            for pg in sorted(pages):
-                holders = self.validset.setdefault(pg, set())
-                for d in sorted(holders - {owner}):
-                    send_groups.setdefault((owner, lock, d), []).append(pg)
-                cs_owners.setdefault(pg, set()).add(owner)
-                holders.add(owner)
-                self.copyset.setdefault(pg, set()).add(owner)
+        for (lock, pg), (counter, owner) in sorted(page_owner.items()):
+            holders = self.validset.setdefault(pg, set())
+            for d in sorted(holders - {owner}):
+                send_groups.setdefault((owner, lock, d), []).append(pg)
+            cs_owners.setdefault(pg, set()).add(owner)
+            holders.add(owner)
+            self.copyset.setdefault(pg, set()).add(owner)
         for pg, owners in sorted(cs_owners.items()):
             stale = (self.copyset.setdefault(pg, set())
                      - self.validset.setdefault(pg, set()))

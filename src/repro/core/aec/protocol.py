@@ -609,6 +609,22 @@ class AECNode(ProtocolNode):
                 self.lost_valid.add(pg)
                 self.gained_valid.discard(pg)
             meta.cs_diff_source = (lock_id, modifier)
+            self._retire_session_page(lock_id, pg)
+
+    def _retire_session_page(self, lock_id: int, pg: int) -> None:
+        """Stop reporting/serving ``pg`` from this lock's session.
+
+        The grant told us another processor modified the page after our
+        last tenure and we don't hold its diffs (only a lazy
+        ``cs_diff_source`` pointer).  Until a fault refetches and absorbs
+        that history, our stored record is incomplete — keeping it would
+        let our (higher-counter) session win the release coverage or the
+        barrier's per-page reconciliation with stale words.
+        """
+        sess = self.session(lock_id)
+        sess.diff_store.pop(pg, None)
+        sess.step_mods.discard(pg)
+        sess.writers.pop(pg, None)
 
     def _arm_upset_timeout(self, fut: Future) -> None:
         """Bound the wait for an eagerly-pushed update set (faulty mode).
@@ -654,6 +670,7 @@ class AECNode(ProtocolNode):
                 self.lost_valid.add(pg)
                 self.gained_valid.discard(pg)
             meta.cs_diff_source = (lock_id, grant.last_owner)
+            self._retire_session_page(lock_id, pg)
 
     def release(self, lock_id: int) -> Generator:
         if not self.lock_stack or self.lock_stack[-1] != lock_id:

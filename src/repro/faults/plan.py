@@ -185,6 +185,19 @@ BUILTIN_PLANS: Dict[str, "FaultPlan"] = {
 }
 
 
+def plan_from_dict(doc: Dict) -> FaultPlan:
+    """Rebuild a :class:`FaultPlan` from its ``dataclasses.asdict`` form
+    (the shape stored in canonical config dicts and trace headers)."""
+    rules = tuple(
+        FaultRule(**{**r, "kinds": (tuple(r["kinds"])
+                                    if r.get("kinds") is not None else None)})
+        for r in doc.get("rules", ()))
+    stalls = tuple(NodeStall(**s) for s in doc.get("stalls", ()))
+    return FaultPlan(name=doc.get("name", "custom"),
+                     seed=int(doc.get("seed", 1)),
+                     rules=rules, stalls=stalls)
+
+
 def get_plan(spec: str) -> FaultPlan:
     """Resolve ``NAME`` or ``NAME@SEED`` to a built-in :class:`FaultPlan`."""
     name, _, seed = spec.partition("@")

@@ -1,0 +1,40 @@
+"""repro.fuzz — protocol-fuzzing subsystem.
+
+Four parts, layered on the existing app/harness/check stack:
+
+* :mod:`repro.fuzz.generator` — a seeded property-based workload
+  generator: a frozen :class:`WorkloadSpec` (pure data, rides in
+  ``SimConfig.workload`` and therefore in every sweep cache key) compiled
+  into a deterministic :class:`GeneratedApp` speaking the ordinary
+  ``apps.api`` event vocabulary.
+* :mod:`repro.fuzz.trace` — record/replay front end: a tap on
+  :class:`~repro.apps.api.AppContext` captures any run's app-level event
+  stream to JSONL, and :class:`TraceApp` replays it as a standalone
+  application, bit-identical in sim-side numbers.
+* :mod:`repro.fuzz.shrink` — a delta-debugging minimizer reducing a
+  failing spec (checker violation or SC divergence) to a minimal
+  reproducer.
+* :mod:`repro.fuzz.campaign` — fans seeds x protocols x fault plans
+  through the sweep disk cache with checker + oracle on and emits a
+  structured :class:`CampaignReport`; failures are shrunk and filed in
+  the regression corpus.
+"""
+from repro.fuzz.generator import (
+    GeneratedApp,
+    PhaseSpec,
+    WorkloadSpec,
+    config_for_spec,
+    generate_spec,
+    spec_from_dict,
+    spec_to_dict,
+)
+
+__all__ = [
+    "GeneratedApp",
+    "PhaseSpec",
+    "WorkloadSpec",
+    "config_for_spec",
+    "generate_spec",
+    "spec_from_dict",
+    "spec_to_dict",
+]

@@ -1,0 +1,276 @@
+"""Fuzzing campaign driver: seeds x protocols x fault plans, certified.
+
+A campaign fans generated workloads through the sweep runner (so cells are
+disk-cached, multiprocessing-parallel, and content-addressed by their full
+config — every (spec, protocol, fault-seed) is a distinct cache cell) with
+the consistency checker armed, then certifies each cell three ways:
+
+1. the happens-before checker's report must be clean,
+2. every processor's checksum must equal the analytic expectation,
+3. the final memory image must be word-identical to the same workload's
+   fault-free SC oracle image.
+
+Failures are minimized inline by :mod:`repro.fuzz.shrink` and can be filed
+directly into a corpus directory as JSON reproducers (see
+``tests/corpus/``), turning every campaign catch into a regression test.
+"""
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.config import SimConfig
+from repro.faults.plan import FaultPlan, get_plan
+from repro.fuzz.generator import (GeneratedApp, WorkloadSpec, config_for_spec,
+                                  generate_spec, spec_to_dict)
+from repro.fuzz.shrink import shrink_spec
+
+#: plan name meaning "no fault plan attached" (bit-identical fault-free mode)
+NO_FAULTS = "none"
+
+
+def _resolve_plan(name: str) -> Optional[FaultPlan]:
+    return None if name == NO_FAULTS else get_plan(name)
+
+
+@dataclass
+class CampaignCell:
+    """Verdict for one (seed, protocol, plan) cell."""
+
+    seed: int
+    protocol: str
+    plan: str
+    key: str
+    #: None = healthy; otherwise a short failure signature
+    failure: Optional[str] = None
+    execution_time: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.failure is None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"seed": self.seed, "protocol": self.protocol,
+                "plan": self.plan, "key": self.key, "ok": self.ok,
+                "failure": self.failure,
+                "execution_time": self.execution_time}
+
+
+@dataclass
+class CampaignReport:
+    """Outcome of one :func:`run_campaign` call."""
+
+    scale: str
+    protocols: Tuple[str, ...]
+    plans: Tuple[str, ...]
+    seeds: Tuple[int, ...]
+    cells: List[CampaignCell] = field(default_factory=list)
+    #: minimized reproducers (corpus documents) for every distinct failure
+    reproducers: List[Dict[str, Any]] = field(default_factory=list)
+    executed: int = 0
+    cached: int = 0
+    wall_seconds: float = 0.0
+
+    @property
+    def failures(self) -> List[CampaignCell]:
+        return [c for c in self.cells if not c.ok]
+
+    @property
+    def clean(self) -> bool:
+        return not self.failures
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "format": "repro-fuzz-campaign",
+            "version": 1,
+            "scale": self.scale,
+            "protocols": list(self.protocols),
+            "plans": list(self.plans),
+            "seeds": list(self.seeds),
+            "total_cells": len(self.cells),
+            "failed_cells": len(self.failures),
+            "clean": self.clean,
+            "executed": self.executed,
+            "cached": self.cached,
+            "wall_seconds": self.wall_seconds,
+            "cells": [c.to_dict() for c in self.cells],
+            "reproducers": self.reproducers,
+        }
+
+    def summary(self) -> str:
+        parts = [f"{len(self.seeds)} workloads",
+                 f"{len(self.cells)} cells "
+                 f"({','.join(self.protocols)} x {','.join(self.plans)})",
+                 f"{self.executed} executed", f"{self.cached} cached",
+                 f"{self.wall_seconds:.1f}s wall"]
+        verdict = ("all clean" if self.clean
+                   else f"{len(self.failures)} FAILED"
+                        f" ({len(self.reproducers)} minimized)")
+        return "campaign: " + ", ".join(parts) + " -> " + verdict
+
+
+def corpus_doc(spec: WorkloadSpec, protocol: str, plan: str, scale: str,
+               failure: str, shrunk_from: Optional[WorkloadSpec] = None,
+               shrink_runs: int = 0) -> Dict[str, Any]:
+    """A corpus JSON document: a minimized reproducer plus its provenance."""
+    doc: Dict[str, Any] = {
+        "format": "repro-fuzz-corpus",
+        "version": 1,
+        "name": f"seed{spec.seed}-{protocol}-{plan}",
+        "found": {"protocol": protocol, "plan": plan, "scale": scale,
+                  "failure": failure},
+        "spec": spec_to_dict(spec),
+    }
+    if shrunk_from is not None:
+        doc["shrunk_from"] = {"spec": spec_to_dict(shrunk_from),
+                              "shrink_runs": shrink_runs}
+    return doc
+
+
+def _cell_failure(result, spec: WorkloadSpec,
+                  sc_image: Optional[Dict[str, np.ndarray]]) -> Optional[str]:
+    """Certify one cached cell result (see module docstring)."""
+    rep = result.check_report
+    if rep is not None and not rep.clean:
+        return "check: " + ",".join(sorted(rep.counts))
+    inner = [r[0] for r in result.app_results]
+    try:
+        GeneratedApp(spec).check(inner)
+    except AssertionError:
+        return "appcheck: wrong checksum"
+    if sc_image is not None:
+        _inner0, image = result.app_results[0]
+        for i in range(len(spec.segments)):
+            name = f"fz.s{i}"
+            if not np.array_equal(image[name], sc_image[name]):
+                bad = int(np.flatnonzero(image[name] != sc_image[name])[0])
+                return (f"diverge: {name}[{bad}] got {image[name][bad]!r} "
+                        f"want {sc_image[name][bad]!r}")
+    return None
+
+
+def run_campaign(seeds: Sequence[int],
+                 protocols: Sequence[str] = ("aec", "tmk"),
+                 plans: Sequence[str] = (NO_FAULTS, "lossy-1pct"),
+                 scale: str = "test",
+                 jobs: int = 1,
+                 cache_dir: Optional[str] = None,
+                 shrink: bool = True,
+                 max_shrink_runs: int = 300,
+                 corpus_dir: Optional[str] = None,
+                 progress=None) -> CampaignReport:
+    """Fan ``seeds x protocols x plans`` through the sweep and certify.
+
+    Per seed, one extra fault-free SC cell provides the oracle image; all
+    cells go through the sweep cache, so re-running a campaign (or
+    widening it with more seeds) only executes new cells.  With
+    ``shrink=True`` every failing cell's spec is minimized inline; with
+    ``corpus_dir`` the minimized reproducers are also written there as
+    JSON corpus documents.
+    """
+    import repro.harness.sweep as sw
+
+    def say(msg: str) -> None:
+        if progress is not None:
+            progress(msg)
+
+    plan_objs = {name: _resolve_plan(name) for name in plans}
+    specs = {int(seed): generate_spec(int(seed), scale) for seed in seeds}
+
+    run_specs = []
+    oracle_keys: Dict[int, str] = {}
+    cell_index: Dict[str, Tuple[int, str, str]] = {}
+    for seed, spec in specs.items():
+        oracle = sw.make_spec(f"image:fuzz:{seed}", scale, "sc",
+                              config=config_for_spec(spec), check=False)
+        oracle_keys[seed] = oracle.key
+        run_specs.append(oracle)
+        for protocol in protocols:
+            for plan_name in plans:
+                cfg = config_for_spec(spec).replace(
+                    check_consistency=True, faults=plan_objs[plan_name])
+                cell = sw.make_spec(f"image:fuzz:{seed}", scale, protocol,
+                                    config=cfg, check=False)
+                cell_index[cell.key] = (seed, protocol, plan_name)
+                run_specs.append(cell)
+
+    sweep = sw.run_sweep(run_specs, jobs=jobs, cache_dir=cache_dir,
+                         progress=progress)
+
+    report = CampaignReport(scale=scale, protocols=tuple(protocols),
+                            plans=tuple(plans),
+                            seeds=tuple(sorted(specs)),
+                            executed=sweep.executed,
+                            cached=sweep.hits_memory + sweep.hits_disk,
+                            wall_seconds=sweep.wall_seconds)
+
+    sweep_failures = dict()
+    for label, error in sweep.failures:
+        sweep_failures[label] = error
+
+    sc_images: Dict[int, Optional[Dict[str, np.ndarray]]] = {}
+    for seed in specs:
+        result = sweep.results.get(oracle_keys[seed])
+        if result is None:
+            sc_images[seed] = None
+            continue
+        _inner, image = result.app_results[0]
+        sc_images[seed] = image
+
+    for spec_obj in run_specs:
+        meta = cell_index.get(spec_obj.key)
+        if meta is None:
+            continue  # oracle cell
+        seed, protocol, plan_name = meta
+        result = sweep.results.get(spec_obj.key)
+        if result is None:
+            failure: Optional[str] = ("error: "
+                                      + sweep_failures.get(spec_obj.label,
+                                                           "run failed"))
+            exec_time = 0.0
+        else:
+            if sc_images[seed] is None:
+                failure = "error: sc oracle cell failed"
+            else:
+                failure = _cell_failure(result, specs[seed], sc_images[seed])
+            exec_time = result.execution_time if result else 0.0
+        report.cells.append(CampaignCell(
+            seed=seed, protocol=protocol, plan=plan_name, key=spec_obj.key,
+            failure=failure, execution_time=exec_time))
+
+    if shrink and report.failures:
+        # one minimized reproducer per distinct (seed, protocol, plan)
+        for cell in report.failures:
+            say(f"shrinking seed {cell.seed} under {cell.protocol}"
+                f"/{cell.plan}: {cell.failure}")
+            try:
+                res = shrink_spec(specs[cell.seed], cell.protocol,
+                                  faults=plan_objs[cell.plan],
+                                  max_runs=max_shrink_runs)
+            except ValueError:
+                # failure not reproducible outside the sweep context
+                # (e.g. the sweep cell itself errored); file it unshrunk
+                doc = corpus_doc(specs[cell.seed], cell.protocol, cell.plan,
+                                 scale, cell.failure or "unknown")
+            else:
+                doc = corpus_doc(res.minimal, cell.protocol, cell.plan,
+                                 scale, res.minimal_failure,
+                                 shrunk_from=specs[cell.seed],
+                                 shrink_runs=res.runs)
+                say("  " + res.summary())
+            report.reproducers.append(doc)
+
+    if corpus_dir and report.reproducers:
+        os.makedirs(corpus_dir, exist_ok=True)
+        for doc in report.reproducers:
+            path = os.path.join(corpus_dir, doc["name"] + ".json")
+            with open(path, "w", encoding="utf-8") as fh:
+                json.dump(doc, fh, indent=2, sort_keys=True)
+                fh.write("\n")
+            say(f"wrote {path}")
+
+    return report

@@ -5,9 +5,16 @@ Examples::
     repro run --app is --protocol aec --scale test
     repro run --app is --protocol aec --trace-out /tmp/is.json --profile
     repro run --app is --protocol aec --check-consistency
+    repro run --app fuzz:17 --protocol aec --check-consistency
     repro check is water-ns --protocols aec tmk --json report.json
     repro compare --app raytrace --scale bench
-    repro trace /tmp/aec.json --app is --scale test
+    repro trace export /tmp/aec.json --app is --scale test
+    repro trace record /tmp/is.trace.jsonl --app is --protocol aec
+    repro trace replay /tmp/is.trace.jsonl --verify
+    repro fuzz run --seeds 25 --jobs 4 --json campaign.json
+    repro fuzz replay 17 --protocol aec
+    repro fuzz shrink tests/corpus/entry.json --protocol aec-broken
+    repro fuzz corpus tests/corpus
     repro metrics --app is --protocol aec --scale test
     repro experiment table3 --scale test
     repro experiment all --scale bench
@@ -27,6 +34,7 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -54,8 +62,24 @@ def _make_config(args, **overrides) -> SimConfig:
     if getattr(args, "faults", None):
         from repro.faults import get_plan
         kwargs["faults"] = get_plan(args.faults)
+    if getattr(args, "record_trace", None):
+        kwargs["record_trace"] = args.record_trace
     kwargs.update(overrides)
-    return SimConfig(**kwargs)
+    config = SimConfig(**kwargs)
+    # generated workloads ride in the config (cache identity + machine size)
+    app_id = getattr(args, "app", None)
+    if app_id and app_id.startswith("fuzz:"):
+        from repro.fuzz.generator import config_for_spec, load_spec
+        spec = load_spec(app_id[len("fuzz:"):], getattr(args, "scale", "test"))
+        config = config_for_spec(spec, config)
+    elif app_id and app_id.startswith("trace:"):
+        import dataclasses as _dc
+
+        from repro.fuzz.trace import TraceApp
+        nprocs = TraceApp(app_id[len("trace:"):]).num_procs
+        config = config.replace(machine=_dc.replace(
+            config.machine, num_procs=nprocs))
+    return config
 
 
 def _fault_plan_arg(spec: str) -> str:
@@ -106,10 +130,23 @@ def _print_check_report(rep, verbose: bool, limit: int = 10) -> None:
               f"(rerun with -v)")
 
 
+def _resolve_app(app_id: str, scale: str, config=None):
+    """make_app with CLI-friendly failure: None + stderr instead of raising."""
+    try:
+        return make_app(app_id, scale, config=config)
+    except (ValueError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return None
+
+
 def _cmd_run(args) -> int:
     config = _make_config(args)
-    result = run_app(make_app(args.app, args.scale), args.protocol,
-                     config=config)
+    app = _resolve_app(args.app, args.scale, config)
+    if app is None:
+        return 2
+    result = run_app(app, args.protocol, config=config)
+    if config.record_trace:
+        print(f"app-level trace written to {config.record_trace}")
     print(result.summary())
     if result.net_faults is not None:
         print(f"  {result.net_faults.summary()}")
@@ -149,7 +186,8 @@ def _cmd_check(args) -> int:
     from repro.sync.objects import SyncRegistry
 
     apps = args.apps or list(APP_NAMES)
-    unknown = [a for a in apps if a not in APP_NAMES]
+    # prefixed ids (fuzz:SEED, trace:PATH) resolve lazily inside make_app
+    unknown = [a for a in apps if a not in APP_NAMES and ":" not in a]
     if unknown:
         print(f"error: unknown app(s) {', '.join(unknown)}; "
               f"choose from {', '.join(APP_NAMES)}", file=sys.stderr)
@@ -224,11 +262,215 @@ def _cmd_compare(args) -> int:
 
 
 def _cmd_trace(args) -> int:
-    config = _make_config(args, obs_spans=True)
-    result = run_app(make_app(args.app, args.scale), args.protocol,
-                     config=config)
+    if args.trace_cmd == "export":
+        config = _make_config(args, obs_spans=True)
+        result = run_app(make_app(args.app, args.scale), args.protocol,
+                         config=config)
+        print(result.summary())
+        return 0 if _write_trace(result, args.out) else 1
+
+    if args.trace_cmd == "record":
+        config = _make_config(args, record_trace=args.out)
+        app = _resolve_app(args.app, args.scale, config)
+        if app is None:
+            return 2
+        result = run_app(app, args.protocol, config=config)
+        print(result.summary())
+        print(f"app-level trace written to {args.out} "
+              f"(replay with 'repro trace replay {args.out}')")
+        return 0
+
+    # trace_cmd == "replay": re-run a recorded op stream, optionally
+    # verifying sim-side bit-identity against the recorded baseline
+    from repro.config import config_from_dict
+    from repro.fuzz.trace import TraceApp
+
+    try:
+        app = TraceApp(args.trace)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    protocol = args.protocol or app.recorded_protocol
+    # replay under the recorded config, but never re-record over the
+    # input file
+    config = config_from_dict(app.header["config"]).replace(record_trace="")
+    result = run_app(app, protocol, config=config)
     print(result.summary())
-    return 0 if _write_trace(result, args.out) else 1
+    if not args.verify:
+        return 0
+    if protocol != app.recorded_protocol:
+        print(f"error: --verify needs the recorded protocol "
+              f"({app.recorded_protocol!r}), not {protocol!r}",
+              file=sys.stderr)
+        return 2
+    baseline = app.baseline
+    got = {"execution_time": result.execution_time,
+           "messages_total": result.messages_total,
+           "network_bytes": result.network_bytes,
+           "events_processed": result.events_processed}
+    mismatches = [f"  {k}: recorded {baseline[k]!r}, replayed {got[k]!r}"
+                  for k in got if k in baseline and baseline[k] != got[k]]
+    if mismatches:
+        print("replay DIVERGED from the recorded run:", file=sys.stderr)
+        for line in mismatches:
+            print(line, file=sys.stderr)
+        return 1
+    print(f"replay verified: bit-identical to the recorded run "
+          f"({', '.join(sorted(set(baseline) & set(got)))})")
+    return 0
+
+
+def _load_fuzz_source(source: str, scale: str):
+    """Resolve a fuzz CLI SPEC argument to (spec, corpus_doc_or_None)."""
+    import json as _json
+
+    from repro.fuzz.generator import load_spec, spec_from_dict
+    doc = None
+    try:
+        int(source)
+    except ValueError:
+        with open(source, "r", encoding="utf-8") as fh:
+            doc = _json.load(fh)
+        return spec_from_dict(doc.get("spec", doc)), doc
+    return load_spec(source, scale), None
+
+
+def _cmd_fuzz(args) -> int:
+    from repro.fuzz.broken import ensure_registered
+    ensure_registered()  # corpus entries may reference aec-broken
+
+    def _to_stderr(msg):
+        print(msg, file=sys.stderr)
+
+    say = _to_stderr if getattr(args, "verbose", False) else None
+
+    if args.fuzz_cmd == "run":
+        import json as _json
+
+        from repro.fuzz.campaign import run_campaign
+        seeds = range(args.seed_start, args.seed_start + args.seeds)
+        report = run_campaign(
+            seeds, protocols=tuple(args.protocols),
+            plans=tuple(args.plans), scale=args.scale, jobs=args.jobs,
+            cache_dir=args.cache_dir, shrink=not args.no_shrink,
+            max_shrink_runs=args.max_shrink_runs,
+            corpus_dir=args.corpus_dir, progress=say)
+        print(report.summary())
+        for cell in report.failures:
+            print(f"  FAIL seed={cell.seed} {cell.protocol}/{cell.plan}: "
+                  f"{cell.failure}", file=sys.stderr)
+        if args.json:
+            with open(args.json, "w", encoding="utf-8") as fh:
+                _json.dump(report.to_dict(), fh, indent=2, sort_keys=True)
+            print(f"campaign report written to {args.json}")
+        return 0 if report.clean else 1
+
+    if args.fuzz_cmd == "replay":
+        from repro.fuzz.shrink import spec_failure
+        try:
+            spec, doc = _load_fuzz_source(args.spec, args.scale)
+        except (OSError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        found = (doc or {}).get("found", {})
+        protocol = args.protocol or found.get("protocol", "aec")
+        plan = None
+        plan_name = args.faults or found.get("plan")
+        if plan_name and plan_name != "none":
+            from repro.faults import get_plan
+            plan = get_plan(plan_name)
+        failure = spec_failure(spec, protocol, faults=plan,
+                               oracle=args.oracle)
+        label = (f"fuzz seed {spec.seed} ({spec.num_procs}p, "
+                 f"{len(spec.phases)} phases) under {protocol}"
+                 + (f"/{plan_name}" if plan else ""))
+        if failure is None:
+            print(f"{label}: healthy (checker, checksums and final memory "
+                  f"all clean)")
+            return 0
+        print(f"{label}: FAILS -> {failure}")
+        return 1
+
+    if args.fuzz_cmd == "shrink":
+        import json as _json
+
+        from repro.fuzz.campaign import corpus_doc
+        from repro.fuzz.shrink import shrink_spec
+        try:
+            spec, doc = _load_fuzz_source(args.spec, args.scale)
+        except (OSError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        found = (doc or {}).get("found", {})
+        protocol = args.protocol or found.get("protocol", "aec")
+        plan = None
+        plan_name = args.faults or found.get("plan")
+        if plan_name and plan_name != "none":
+            from repro.faults import get_plan
+            plan = get_plan(plan_name)
+        try:
+            res = shrink_spec(spec, protocol, faults=plan,
+                              oracle=args.oracle,
+                              max_runs=args.max_runs, progress=say)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(res.summary())
+        print(f"minimal: {res.minimal}")
+        if args.out:
+            out_doc = corpus_doc(res.minimal, protocol,
+                                 plan_name or "none", args.scale,
+                                 res.minimal_failure, shrunk_from=spec,
+                                 shrink_runs=res.runs)
+            with open(args.out, "w", encoding="utf-8") as fh:
+                _json.dump(out_doc, fh, indent=2, sort_keys=True)
+                fh.write("\n")
+            print(f"reproducer written to {args.out}")
+        return 0
+
+    # fuzz_cmd == "corpus": replay every corpus entry as a regression test
+    import glob as _glob
+    import json as _json
+
+    from repro.fuzz.generator import spec_from_dict
+    from repro.fuzz.shrink import spec_failure
+    paths = sorted(_glob.glob(os.path.join(args.dir, "*.json")))
+    if not paths:
+        print(f"error: no corpus entries under {args.dir}", file=sys.stderr)
+        return 2
+    failed = 0
+    for path in paths:
+        with open(path, "r", encoding="utf-8") as fh:
+            doc = _json.load(fh)
+        spec = spec_from_dict(doc.get("spec", doc))
+        name = doc.get("name", os.path.basename(path))
+        # healthy protocols must stay clean on every corpus entry
+        for protocol in args.protocols:
+            failure = spec_failure(spec, protocol)
+            ok = failure is None
+            failed += 0 if ok else 1
+            status = "ok  " if ok else "FAIL"
+            print(f"{status} {name:<28} {protocol:<10} "
+                  + ("clean" if ok else failure))
+        # the entry must still reproduce on the protocol it was found on
+        found = doc.get("found", {})
+        bad_protocol = found.get("protocol")
+        if bad_protocol and bad_protocol not in args.protocols:
+            plan = None
+            if found.get("plan") and found["plan"] != "none":
+                from repro.faults import get_plan
+                plan = get_plan(found["plan"])
+            failure = spec_failure(spec, bad_protocol, faults=plan)
+            ok = failure is not None
+            failed += 0 if ok else 1
+            status = "ok  " if ok else "FAIL"
+            note = (f"still reproduces: {failure}" if ok
+                    else "reproducer LOST (no longer fails)")
+            print(f"{status} {name:<28} {bad_protocol:<10} {note}")
+    total = len(paths)
+    print(f"corpus: {total} entr{'y' if total == 1 else 'ies'}, "
+          f"{failed} failed expectation(s)")
+    return 1 if failed else 0
 
 
 def _cmd_metrics(args) -> int:
@@ -565,7 +807,10 @@ def build_parser() -> argparse.ArgumentParser:
     sub = p.add_subparsers(dest="command", required=True)
 
     run = sub.add_parser("run", help="simulate one application/protocol")
-    run.add_argument("--app", choices=APP_NAMES, required=True)
+    # no choices=: prefixed ids (fuzz:SEED, trace:PATH) resolve lazily
+    run.add_argument("--app", required=True, metavar="APP",
+                     help=f"one of {', '.join(APP_NAMES)}, or fuzz:SEED / "
+                          f"trace:PATH")
     run.add_argument("--protocol", choices=sorted(PROTOCOLS), default="aec")
     run.add_argument("--scale", choices=SCALES, default="test")
     run.add_argument("--update-set-size", type=int, default=2)
@@ -587,6 +832,9 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--faults", metavar="PLAN", type=_fault_plan_arg,
                      help="inject network faults per a built-in plan "
                           "(NAME or NAME@SEED; see 'repro faults list')")
+    run.add_argument("--record-trace", metavar="FILE",
+                     help="record the app-level event stream as JSONL "
+                          "(replay with 'repro trace replay FILE')")
     run.set_defaults(fn=_cmd_run)
 
     chk = sub.add_parser(
@@ -627,16 +875,128 @@ def build_parser() -> argparse.ArgumentParser:
                       help="wall-clock profile of the simulator hot loop")
     cmp_.set_defaults(fn=_cmd_compare)
 
-    trc = sub.add_parser("trace",
-                         help="run once and export a Chrome/Perfetto trace")
-    trc.add_argument("out", metavar="OUT.json",
-                     help="output path for the trace JSON")
-    trc.add_argument("--app", choices=APP_NAMES, required=True)
-    trc.add_argument("--protocol", choices=sorted(PROTOCOLS), default="aec")
-    trc.add_argument("--scale", choices=SCALES, default="test")
-    trc.add_argument("--update-set-size", type=int, default=2)
-    trc.add_argument("--seed", type=int, default=42)
-    trc.set_defaults(fn=_cmd_trace)
+    trc = sub.add_parser(
+        "trace",
+        help="app-level trace record/replay, or Chrome trace export")
+    tsub = trc.add_subparsers(dest="trace_cmd", required=True)
+
+    trec = tsub.add_parser(
+        "record", help="run once and record the app-level event stream")
+    trec.add_argument("out", metavar="OUT.jsonl",
+                      help="output path for the JSONL app trace")
+    trec.add_argument("--app", required=True, metavar="APP",
+                      help=f"one of {', '.join(APP_NAMES)}, or fuzz:SEED")
+    trec.add_argument("--protocol", choices=sorted(PROTOCOLS), default="aec")
+    trec.add_argument("--scale", choices=SCALES, default="test")
+    trec.add_argument("--update-set-size", type=int, default=2)
+    trec.add_argument("--seed", type=int, default=42)
+    trec.add_argument("--faults", metavar="PLAN", type=_fault_plan_arg)
+    trec.set_defaults(fn=_cmd_trace)
+
+    trep = tsub.add_parser(
+        "replay",
+        help="re-run a recorded app trace (bit-identical sim numbers)")
+    trep.add_argument("trace", metavar="TRACE.jsonl",
+                      help="app trace recorded by 'trace record' or "
+                           "--record-trace")
+    trep.add_argument("--protocol", choices=sorted(PROTOCOLS), default=None,
+                      help="replay under a different protocol "
+                           "(default: the recorded one)")
+    trep.add_argument("--verify", action="store_true",
+                      help="fail unless execution cycles, messages, bytes "
+                           "and events match the recorded baseline exactly")
+    trep.set_defaults(fn=_cmd_trace)
+
+    texp = tsub.add_parser(
+        "export", help="run once and export a Chrome/Perfetto span trace")
+    texp.add_argument("out", metavar="OUT.json",
+                      help="output path for the trace JSON")
+    texp.add_argument("--app", choices=APP_NAMES, required=True)
+    texp.add_argument("--protocol", choices=sorted(PROTOCOLS), default="aec")
+    texp.add_argument("--scale", choices=SCALES, default="test")
+    texp.add_argument("--update-set-size", type=int, default=2)
+    texp.add_argument("--seed", type=int, default=42)
+    texp.set_defaults(fn=_cmd_trace)
+
+    fuz = sub.add_parser(
+        "fuzz",
+        help="protocol fuzzing: generated-workload campaigns, single-spec "
+             "replay, delta-debugging shrink, corpus regression replay")
+    fsub = fuz.add_subparsers(dest="fuzz_cmd", required=True)
+
+    frun = fsub.add_parser(
+        "run", help="campaign: seeds x protocols x fault plans, certified "
+                    "against the checker and the SC oracle")
+    frun.add_argument("--seeds", type=int, default=25, metavar="N",
+                      help="number of generated workloads (default 25)")
+    frun.add_argument("--seed-start", type=int, default=0, metavar="S",
+                      help="first seed (default 0)")
+    frun.add_argument("--protocols", nargs="+", default=["aec", "tmk"],
+                      metavar="PROTO",
+                      help="protocols to fuzz (default: aec tmk)")
+    frun.add_argument("--plans", nargs="+", default=["none", "lossy-1pct"],
+                      metavar="PLAN",
+                      help="fault plans per cell; 'none' = fault-free "
+                           "(default: none lossy-1pct)")
+    frun.add_argument("--scale", choices=SCALES, default="test")
+    frun.add_argument("--jobs", type=int, default=1, metavar="N")
+    frun.add_argument("--cache-dir", metavar="DIR",
+                      help="sweep disk cache (re-runs only execute new "
+                           "cells)")
+    frun.add_argument("--json", metavar="FILE",
+                      help="write the CampaignReport as JSON")
+    frun.add_argument("--corpus-dir", metavar="DIR",
+                      help="file minimized reproducers into this directory")
+    frun.add_argument("--no-shrink", action="store_true",
+                      help="report failures without minimizing them")
+    frun.add_argument("--max-shrink-runs", type=int, default=300,
+                      metavar="N")
+    frun.add_argument("--verbose", "-v", action="store_true")
+    frun.set_defaults(fn=_cmd_fuzz)
+
+    frep = fsub.add_parser(
+        "replay", help="run one generated workload or corpus entry and "
+                       "certify it")
+    frep.add_argument("spec", metavar="SPEC",
+                      help="seed integer, spec JSON, or corpus JSON")
+    frep.add_argument("--protocol", default=None,
+                      help="protocol (default: the corpus entry's, else "
+                           "aec)")
+    frep.add_argument("--scale", choices=SCALES, default="test")
+    frep.add_argument("--faults", metavar="PLAN", type=_fault_plan_arg)
+    frep.add_argument("--oracle", choices=("analytic", "sc", "none"),
+                      default="analytic",
+                      help="final-memory oracle: analytic expectation "
+                           "(default), a real SC run, or none")
+    frep.set_defaults(fn=_cmd_fuzz)
+
+    fshr = fsub.add_parser(
+        "shrink", help="delta-debug a failing spec to a minimal reproducer")
+    fshr.add_argument("spec", metavar="SPEC",
+                      help="seed integer, spec JSON, or corpus JSON")
+    fshr.add_argument("--protocol", default=None,
+                      help="protocol to shrink against (default: the "
+                           "corpus entry's, else aec)")
+    fshr.add_argument("--scale", choices=SCALES, default="test")
+    fshr.add_argument("--faults", metavar="PLAN", type=_fault_plan_arg)
+    fshr.add_argument("--oracle", choices=("analytic", "sc", "none"),
+                      default="analytic")
+    fshr.add_argument("--max-runs", type=int, default=400, metavar="N")
+    fshr.add_argument("--out", metavar="FILE",
+                      help="write the minimized reproducer as corpus JSON")
+    fshr.add_argument("--verbose", "-v", action="store_true")
+    fshr.set_defaults(fn=_cmd_fuzz)
+
+    fcor = fsub.add_parser(
+        "corpus", help="replay a reproducer corpus as regression tests")
+    fcor.add_argument("dir", nargs="?", default="tests/corpus",
+                      metavar="DIR")
+    fcor.add_argument("--protocols", nargs="+", default=["aec", "tmk"],
+                      metavar="PROTO",
+                      help="healthy protocols that must stay clean "
+                           "(default: aec tmk)")
+    fcor.add_argument("--scale", choices=SCALES, default="test")
+    fcor.set_defaults(fn=_cmd_fuzz)
 
     met = sub.add_parser("metrics",
                          help="run once and dump the metrics registry")

@@ -104,6 +104,16 @@ def run_app(app: Application, protocol: str = "aec",
     for node in nodes:
         node.finalize()
     check_report = world.checker.finish()
+    if world.app_tap is not None:
+        # written before app.check so a semantically-failing run still
+        # leaves a replayable trace behind
+        world.app_tap.close(
+            app=app, layout=layout, sync=sync, protocol=protocol,
+            config=config,
+            baseline={"execution_time": execution_time,
+                      "messages_total": world.sim.network.messages,
+                      "network_bytes": world.sim.network.bytes,
+                      "events_processed": world.sim.events_processed})
     if check:
         app.check(results)
     world.obs.finish(execution_time)

@@ -42,7 +42,7 @@ from repro.stats.run_result import RunResult
 #: bump when the RunResult layout or key composition changes incompatibly;
 #: part of every cache key, so old entries miss instead of deserializing
 #: into garbage.
-CACHE_FORMAT_VERSION = 2  # v2: RunResult.net_faults + fault-plan configs
+CACHE_FORMAT_VERSION = 3  # v3: fuzz workload + trace fields in SimConfig
 
 
 @lru_cache(maxsize=1)
@@ -138,8 +138,8 @@ def make_spec(app: str, scale: str, protocol: str, *,
 
 def execute_spec(spec: RunSpec) -> RunResult:
     """Run one cell from scratch and return a cache/transport-safe result."""
-    result = run_app(make_app(spec.app, spec.scale), spec.protocol,
-                     config=spec.config, check=spec.check)
+    result = run_app(make_app(spec.app, spec.scale, config=spec.config),
+                     spec.protocol, config=spec.config, check=spec.check)
     return result.sanitized()
 
 

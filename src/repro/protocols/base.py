@@ -214,6 +214,11 @@ class World:
                 self.sim.injector.spans = self.obs.spans
         from repro.check import make_checker
         self.checker = make_checker(config, layout, self.machine.num_procs)
+        if config.record_trace:
+            from repro.fuzz.trace import TraceRecorder
+            self.app_tap: Optional[Any] = TraceRecorder(config.record_trace)
+        else:
+            self.app_tap = None
         self.diff_stats = DiffStats(num_procs=self.machine.num_procs)
         self.lap_stats: Optional[Any] = None  # set by protocols that track LAP
         #: acquire counts per lock id (granted acquires, Table 2 / Table 3)

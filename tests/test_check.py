@@ -25,7 +25,6 @@ from repro.check.oracle import (DivergenceReport, compare_images,
                                 run_with_image)
 from repro.config import MachineParams, SimConfig, canonical_config_dict, \
     config_digest
-from repro.core.aec.protocol import AECNode
 from repro.harness import sweep as sw
 from repro.harness.cli import main as cli_main
 from repro.harness.runner import PROTOCOLS, run_app
@@ -231,26 +230,12 @@ class TestAppsAreClean:
 
 
 # ------------------------------------------------- broken-protocol detection
+#
+# The broken variant itself moved to repro.fuzz.broken so the fuzzing
+# campaign can use it as ground truth; these tests keep certifying that
+# the checker detects it.
 
-class BrokenAECNode(AECNode):
-    """AEC with one post-grant diff apply silently skipped (test-only).
-
-    The skipped apply is the in-update-set diff applied right after a lock
-    grant (category ``synch`` with the lock already held) — the only apply
-    path with no fault-time healing, so its loss MUST surface as a stale
-    read inside the next critical section.
-    """
-
-    def __init__(self, world, node_id):
-        super().__init__(world, node_id)
-        world.broken_skips = getattr(world, "broken_skips", [])
-
-    def _apply_cs_diff(self, pn, diff, category, hidden_behind=None):
-        if (not self.world.broken_skips and diff.nwords
-                and category == "synch" and self.locks_held):
-            self.world.broken_skips.append((self.node_id, pn))
-            return
-        yield from super()._apply_cs_diff(pn, diff, category, hidden_behind)
+from repro.fuzz.broken import BrokenAECNode  # noqa: E402
 
 
 class CounterApp(Application):

@@ -1,0 +1,441 @@
+"""Tests for repro.fuzz: generator, trace record/replay, shrink, campaign.
+
+The determinism contract under test (DESIGN.md section 12):
+
+* same (seed, scale) -> the identical WorkloadSpec object, identical
+  compiled schedules, and bit-identical sim numbers run after run,
+* distinct workload or fault seeds -> distinct sweep cache keys,
+* a recorded trace replays bit-identically (cycles, messages, bytes,
+  events) under the recorded protocol and config,
+* the corpus under tests/corpus replays clean on healthy protocols and
+  still reproduces on the protocol each entry was found on.
+"""
+import glob
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.apps.registry import APP_NAMES, make_app, register_app
+from repro.config import SimConfig, config_digest, config_from_dict, \
+    canonical_config_dict
+from repro.fuzz.broken import ensure_registered
+from repro.fuzz.campaign import run_campaign
+from repro.fuzz.generator import (GeneratedApp, PhaseSpec, WorkloadSpec,
+                                  compile_schedule, config_for_spec,
+                                  expected_final, generate_spec,
+                                  spec_from_dict, spec_to_dict)
+from repro.fuzz.shrink import shrink_spec, spec_failure
+from repro.fuzz.trace import TraceApp
+from repro.harness import sweep as sw
+from repro.harness.cli import main as cli_main
+from repro.harness.runner import run_app
+
+CORPUS_DIR = os.path.join(os.path.dirname(__file__), "corpus")
+
+#: a spec known to trip the broken-AEC variant (see tests/corpus)
+BROKEN_REPRO = WorkloadSpec(
+    seed=24, num_procs=2, segments=(4,), num_locks=1, num_barriers=1,
+    phases=(PhaseSpec(kind="locked", segment=0, barrier=0, locks=(0,),
+                      cs_per_proc=2, span=1),))
+
+# Minimal reproducers for three real AEC bugs the first 200-seed campaign
+# caught in the *shipping* protocol (all fixed; kept as regressions).
+# 1. A pushed update-set diff for a page not resident at the acquirer was
+#    silently dropped at release, and the barrier's last-owner-takes-all
+#    reconciliation lost that page's epoch (fixed: per-(lock, page)
+#    reconciliation in the barrier manager).
+AEC_FIXED_DROPPED_PUSH = WorkloadSpec(
+    seed=160, num_procs=2, segments=(1098, 4), num_locks=1, num_barriers=1,
+    phases=(PhaseSpec(kind="owner", segment=1, barrier=0, writes=1, span=1),
+            PhaseSpec(kind="locked", segment=0, barrier=0, locks=(0,),
+                      cs_per_proc=1, span=1),
+            PhaseSpec(kind="locked", segment=0, barrier=0, locks=(0,),
+                      cs_per_proc=5, span=1, extra_reads=1)))
+# 2. A session kept reporting/serving a page after a grant invalidated it
+#    (history it no longer held), winning release coverage and barrier
+#    reconciliation with stale words (fixed: _retire_session_page).
+AEC_FIXED_STALE_SESSION = WorkloadSpec(
+    seed=180, num_procs=3, segments=(1716,), num_locks=4, num_barriers=1,
+    phases=(PhaseSpec(kind="locked", segment=0, barrier=0,
+                      locks=(0, 1, 2, 3), cs_per_proc=4, span=1,
+                      extra_reads=3, affinity_skew=0.25),))
+# 3. A copy gained and invalidated within the same step was invisible to
+#    the barrier's copyset, so its holder crossed the barrier with stale
+#    bytes and dangling lazy-recovery state (fixed: lost_valid feeds the
+#    copyset too).
+AEC_FIXED_HIDDEN_COPY = WorkloadSpec(
+    seed=180, num_procs=4, segments=(1716,), num_locks=4, num_barriers=2,
+    phases=(PhaseSpec(kind="locked", segment=0, barrier=1,
+                      locks=(0, 1, 2, 3), cs_per_proc=4, span=4,
+                      extra_reads=3, affinity_skew=0.25),
+            PhaseSpec(kind="locked", segment=0, barrier=0, locks=(0, 1),
+                      cs_per_proc=5, span=2, extra_reads=3)))
+
+
+@pytest.fixture(autouse=True)
+def _fresh_memo():
+    sw.clear_memory()
+    yield
+    sw.clear_memory()
+    sw.set_cache_dir(None)
+
+
+# ------------------------------------------------------------- generator
+
+class TestGenerator:
+    def test_same_seed_same_spec(self):
+        for seed in (0, 7, 123):
+            assert generate_spec(seed, "test") == generate_spec(seed, "test")
+
+    def test_distinct_seeds_distinct_specs(self):
+        specs = {generate_spec(seed, "test") for seed in range(20)}
+        assert len(specs) == 20
+
+    def test_scales_are_distinct_streams(self):
+        assert generate_spec(1, "test") != generate_spec(1, "bench")
+
+    def test_spec_dict_roundtrip(self):
+        spec = generate_spec(5, "test")
+        assert spec_from_dict(spec_to_dict(spec)) == spec
+
+    def test_spec_values_are_json_safe(self):
+        # np.int64 leaking into the spec would break canonical-config JSON
+        spec = generate_spec(3, "test")
+        json.dumps(canonical_config_dict(config_for_spec(spec)))
+
+    def test_schedule_deterministic_and_adapts_to_nprocs(self):
+        spec = generate_spec(9, "test")
+        assert compile_schedule(spec, 4) == compile_schedule(spec, 4)
+        for nprocs in (2, 3, 8):
+            sched = compile_schedule(spec, nprocs)
+            assert all(len(phase) == nprocs for phase in sched)
+
+    def test_expected_final_matches_simulation(self):
+        spec = generate_spec(7, "test")
+        from repro.check.oracle import run_with_image
+        _r, image = run_with_image(GeneratedApp(spec), "sc",
+                                   config=config_for_spec(spec))
+        want = expected_final(spec, spec.num_procs)
+        for i in range(len(spec.segments)):
+            np.testing.assert_array_equal(image[f"fz.s{i}"], want[i])
+
+    def test_generated_app_clean_under_aec(self):
+        for seed in (0, 7):
+            spec = generate_spec(seed, "test")
+            cfg = config_for_spec(spec, SimConfig(check_consistency=True))
+            result = run_app(GeneratedApp(spec), "aec", config=cfg)
+            assert result.check_report.clean
+
+    def test_bit_identical_across_runs(self):
+        spec = generate_spec(11, "test")
+        cfg = config_for_spec(spec)
+        a = run_app(GeneratedApp(spec), "aec", config=cfg)
+        b = run_app(GeneratedApp(spec), "aec", config=cfg)
+        assert a.execution_time == b.execution_time
+        assert a.messages_total == b.messages_total
+        assert a.network_bytes == b.network_bytes
+        assert a.events_processed == b.events_processed
+
+
+class TestCacheIdentity:
+    def test_distinct_specs_distinct_keys(self):
+        a = sw.make_spec("image:fuzz:1", "test", "aec",
+                         config=config_for_spec(generate_spec(1, "test")))
+        b = sw.make_spec("image:fuzz:2", "test", "aec",
+                         config=config_for_spec(generate_spec(2, "test")))
+        assert a.key != b.key
+
+    def test_same_spec_same_key(self):
+        a = sw.make_spec("image:fuzz:1", "test", "aec",
+                         config=config_for_spec(generate_spec(1, "test")))
+        b = sw.make_spec("image:fuzz:1", "test", "aec",
+                         config=config_for_spec(generate_spec(1, "test")))
+        assert a.key == b.key
+
+    def test_distinct_fault_seeds_distinct_keys(self):
+        from repro.faults import get_plan
+        cfg = config_for_spec(generate_spec(1, "test"))
+        a = sw.make_spec("image:fuzz:1", "test", "aec",
+                         config=cfg.replace(faults=get_plan("lossy-1pct@1")))
+        b = sw.make_spec("image:fuzz:1", "test", "aec",
+                         config=cfg.replace(faults=get_plan("lossy-1pct@2")))
+        assert a.key != b.key
+
+    def test_workload_rides_in_canonical_config(self):
+        cfg = config_for_spec(generate_spec(1, "test"))
+        doc = canonical_config_dict(cfg)
+        assert doc["workload"]["seed"] == 1
+        assert config_digest(config_from_dict(doc)) == config_digest(cfg)
+
+
+# -------------------------------------------------------------- registry
+
+class TestRegistry:
+    def test_unknown_app_still_rejected(self):
+        with pytest.raises(ValueError, match="unknown app"):
+            make_app("no-such-app", "test")
+
+    def test_fuzz_prefix_resolution(self):
+        app = make_app("fuzz:17", "test")
+        assert isinstance(app, GeneratedApp)
+        assert app.spec == generate_spec(17, "test")
+
+    def test_fuzz_prefers_config_workload(self):
+        spec = generate_spec(17, "test")
+        app = make_app("fuzz:17", "test", config=config_for_spec(spec))
+        assert app.spec is spec
+
+    def test_fuzz_id_config_mismatch_rejected(self):
+        cfg = config_for_spec(generate_spec(17, "test"))
+        with pytest.raises(ValueError, match="does not match"):
+            make_app("fuzz:18", "test", config=cfg)
+
+    def test_image_prefix_wraps(self):
+        from repro.check.oracle import MemoryImageApp
+        app = make_app("image:fuzz:3", "test")
+        assert isinstance(app, MemoryImageApp)
+        assert isinstance(app.inner, GeneratedApp)
+
+    def test_register_app(self):
+        from repro.apps import registry as reg
+        from repro.apps.is_sort import ISApp
+        name = "test-registered-app"
+        try:
+            register_app(name, {s: lambda: ISApp(num_keys=256,
+                                                 num_buckets=16,
+                                                 repetitions=1)
+                                for s in ("paper", "bench", "test")})
+            assert name in reg.APP_NAMES
+            assert isinstance(make_app(name, "test"), ISApp)
+        finally:
+            reg._PRESETS.pop(name, None)
+            reg.APP_NAMES = tuple(reg._PRESETS)
+
+
+# ---------------------------------------------------- trace record/replay
+
+class TestTraceRoundtrip:
+    @pytest.mark.parametrize("app_name", APP_NAMES)
+    def test_record_replay_bit_identical(self, app_name, tmp_path):
+        path = str(tmp_path / f"{app_name}.trace.jsonl")
+        recorded = run_app(make_app(app_name, "test"), "aec",
+                           config=SimConfig(record_trace=path))
+        replay = TraceApp(path)
+        assert replay.recorded_protocol == "aec"
+        cfg = config_from_dict(replay.header["config"]).replace(
+            record_trace="")
+        replayed = run_app(replay, "aec", config=cfg)
+        assert replayed.execution_time == recorded.execution_time
+        assert replayed.messages_total == recorded.messages_total
+        assert replayed.network_bytes == recorded.network_bytes
+        assert replayed.events_processed == recorded.events_processed
+
+    def test_recording_does_not_change_sim_numbers(self, tmp_path):
+        base = run_app(make_app("is", "test"), "aec", config=SimConfig())
+        path = str(tmp_path / "is.trace.jsonl")
+        taped = run_app(make_app("is", "test"), "aec",
+                        config=SimConfig(record_trace=path))
+        assert taped.execution_time == base.execution_time
+        assert taped.messages_total == base.messages_total
+
+    def test_trace_baseline_header(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        result = run_app(make_app("fuzz:3", "test"), "aec",
+                         config=config_for_spec(generate_spec(3, "test"),
+                                                SimConfig(record_trace=path)))
+        app = TraceApp(path)
+        assert app.baseline["execution_time"] == result.execution_time
+        assert app.baseline["messages_total"] == result.messages_total
+
+    def test_replay_rejects_wrong_machine_size(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        spec = generate_spec(3, "test")
+        run_app(make_app("fuzz:3", "test"), "aec",
+                config=config_for_spec(spec, SimConfig(record_trace=path)))
+        replay = TraceApp(path)
+        import dataclasses
+        wrong = SimConfig(machine=dataclasses.replace(
+            SimConfig().machine, num_procs=replay.num_procs + 1))
+        with pytest.raises(ValueError, match="recorded on"):
+            run_app(replay, "aec", config=wrong)
+
+
+# ----------------------------------------------------------------- shrink
+
+class TestShrink:
+    def test_passing_spec_refuses_to_shrink(self):
+        with pytest.raises(ValueError, match="does not fail"):
+            shrink_spec(generate_spec(0, "test"), "aec", max_runs=10)
+
+    def test_shrinks_broken_aec_to_tiny_reproducer(self):
+        ensure_registered()
+        spec = generate_spec(24, "test")
+        res = shrink_spec(spec, "aec-broken", max_runs=120)
+        m = res.minimal
+        assert res.minimal_failure.startswith("check:")
+        assert m.num_procs <= 2
+        assert m.total_pages(1024) <= 2
+        assert len(m.phases) <= 2
+        # the minimal spec still fails, standalone
+        assert spec_failure(m, "aec-broken") is not None
+
+    def test_spec_failure_healthy_protocol_is_none(self):
+        assert spec_failure(BROKEN_REPRO, "aec") is None
+
+
+class TestCampaignCatches:
+    """The campaign's first real catches, pinned forever: each minimal spec
+    tripped a distinct (since fixed) AEC staleness bug — see the comments
+    on the spec constants for the mechanism."""
+
+    @pytest.mark.parametrize("spec", [AEC_FIXED_DROPPED_PUSH,
+                                      AEC_FIXED_STALE_SESSION,
+                                      AEC_FIXED_HIDDEN_COPY],
+                             ids=["dropped-push", "stale-session",
+                                  "hidden-copy"])
+    def test_fixed_aec_bugs_stay_fixed(self, spec):
+        assert spec_failure(spec, "aec") is None
+
+    @pytest.mark.parametrize("seed", [160, 180])
+    def test_original_campaign_seeds_clean(self, seed):
+        assert spec_failure(generate_spec(seed, "test"), "aec") is None
+
+
+# ----------------------------------------------------- corpus regression
+
+class TestCorpus:
+    """tests/corpus is a regression suite: every filed reproducer must
+    stay clean on healthy protocols and keep reproducing on the protocol
+    it was found on (else the checker lost detection power)."""
+
+    def _entries(self):
+        paths = sorted(glob.glob(os.path.join(CORPUS_DIR, "*.json")))
+        assert paths, f"no corpus entries under {CORPUS_DIR}"
+        for path in paths:
+            with open(path, "r", encoding="utf-8") as fh:
+                yield path, json.load(fh)
+
+    def test_corpus_clean_on_healthy_protocols(self):
+        for path, doc in self._entries():
+            spec = spec_from_dict(doc["spec"])
+            for protocol in ("aec", "tmk"):
+                failure = spec_failure(spec, protocol)
+                assert failure is None, (
+                    f"{os.path.basename(path)} under {protocol}: {failure}")
+
+    def test_corpus_still_reproduces_on_found_protocol(self):
+        ensure_registered()
+        for path, doc in self._entries():
+            found = doc.get("found", {})
+            protocol = found.get("protocol")
+            if protocol in (None, "aec", "tmk"):
+                continue
+            failure = spec_failure(spec_from_dict(doc["spec"]), protocol)
+            assert failure is not None, (
+                f"{os.path.basename(path)}: reproducer lost — no longer "
+                f"fails under {protocol}")
+
+    def test_corpus_cli(self, capsys):
+        assert cli_main(["fuzz", "corpus", CORPUS_DIR]) == 0
+        out = capsys.readouterr().out
+        assert "still reproduces" in out
+
+
+# --------------------------------------------------------------- campaign
+
+class TestCampaign:
+    def test_small_campaign_clean_and_cached(self, tmp_path):
+        cache = str(tmp_path / "cache")
+        rep = run_campaign(range(3), protocols=("aec",), plans=("none",),
+                           cache_dir=cache)
+        assert rep.clean
+        assert len(rep.cells) == 3
+        assert rep.executed > 0
+        sw.clear_memory()
+        again = run_campaign(range(3), protocols=("aec",), plans=("none",),
+                             cache_dir=cache)
+        assert again.clean
+        assert again.executed == 0  # fully disk-cached
+
+    def test_campaign_identical_across_jobs(self, tmp_path):
+        serial = run_campaign(range(2), protocols=("aec",), plans=("none",),
+                              cache_dir=str(tmp_path / "c1"))
+        sw.clear_memory()
+        sw.set_cache_dir(None)
+        parallel = run_campaign(range(2), protocols=("aec",),
+                                plans=("none",), jobs=2,
+                                cache_dir=str(tmp_path / "c2"))
+        a = {c.seed: c.execution_time for c in serial.cells}
+        b = {c.seed: c.execution_time for c in parallel.cells}
+        assert a == b
+
+    def test_campaign_catches_broken_protocol_and_shrinks(self, tmp_path):
+        ensure_registered()
+        corpus = str(tmp_path / "corpus")
+        rep = run_campaign([24], protocols=("aec-broken",), plans=("none",),
+                           cache_dir=str(tmp_path / "cache"),
+                           corpus_dir=corpus, max_shrink_runs=120)
+        assert not rep.clean
+        assert len(rep.reproducers) == 1
+        doc = rep.reproducers[0]
+        assert doc["format"] == "repro-fuzz-corpus"
+        minimal = spec_from_dict(doc["spec"])
+        assert minimal.num_procs <= 2
+        files = glob.glob(os.path.join(corpus, "*.json"))
+        assert len(files) == 1
+
+    def test_campaign_report_json_roundtrip(self, tmp_path):
+        rep = run_campaign(range(2), protocols=("aec",), plans=("none",))
+        doc = rep.to_dict()
+        json.dumps(doc)
+        assert doc["clean"] is True
+        assert doc["total_cells"] == 2
+
+
+# -------------------------------------------------------------------- CLI
+
+class TestFuzzCli:
+    def test_fuzz_run_clean(self, tmp_path, capsys):
+        out = tmp_path / "campaign.json"
+        rc = cli_main(["fuzz", "run", "--seeds", "2", "--protocols", "aec",
+                       "--plans", "none", "--json", str(out),
+                       "--cache-dir", str(tmp_path / "cache")])
+        assert rc == 0
+        doc = json.loads(out.read_text())
+        assert doc["clean"] is True
+        assert "all clean" in capsys.readouterr().out
+
+    def test_fuzz_replay_healthy(self, capsys):
+        assert cli_main(["fuzz", "replay", "3", "--protocol", "aec"]) == 0
+        assert "healthy" in capsys.readouterr().out
+
+    def test_fuzz_replay_broken_fails(self, capsys):
+        corpus = glob.glob(os.path.join(CORPUS_DIR, "*.json"))[0]
+        rc = cli_main(["fuzz", "replay", corpus])
+        assert rc == 1
+        assert "FAILS" in capsys.readouterr().out
+
+    def test_run_accepts_fuzz_id(self, capsys):
+        rc = cli_main(["run", "--app", "fuzz:3", "--protocol", "aec",
+                       "--check-consistency"])
+        assert rc == 0
+        assert "consistency check: clean" in capsys.readouterr().out
+
+    def test_run_rejects_unknown_app(self, capsys):
+        assert cli_main(["run", "--app", "nope", "--protocol", "aec"]) == 2
+
+    def test_trace_record_replay_verify(self, tmp_path, capsys):
+        path = str(tmp_path / "t.jsonl")
+        assert cli_main(["trace", "record", path, "--app", "is",
+                         "--scale", "test"]) == 0
+        assert cli_main(["trace", "replay", path, "--verify"]) == 0
+        assert "bit-identical" in capsys.readouterr().out
+
+    def test_run_record_trace_flag(self, tmp_path, capsys):
+        path = str(tmp_path / "t.jsonl")
+        rc = cli_main(["run", "--app", "is", "--scale", "test",
+                       "--record-trace", path])
+        assert rc == 0
+        assert TraceApp(path).num_procs == 16

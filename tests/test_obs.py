@@ -426,7 +426,8 @@ class TestCli:
 
     def test_trace_subcommand(self, tmp_path, capsys):
         out = tmp_path / "t.json"
-        rc = cli_main(["trace", str(out), "--app", "is", "--scale", "test"])
+        rc = cli_main(["trace", "export", str(out),
+                       "--app", "is", "--scale", "test"])
         assert rc == 0
         assert json.loads(out.read_text())["traceEvents"]
 
