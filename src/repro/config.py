@@ -57,6 +57,22 @@ class MachineParams:
     #: how long an AEC acquirer waits for an eagerly-pushed update set
     #: before degrading to a LAP miss (fetch the diffs on demand)
     upset_wait_timeout_cycles: int = 100_000
+    # ---- crash recovery (active only when the fault plan schedules crashes) ----
+    #: NIC-level heartbeat period (every node -> node 0, the hub)
+    heartbeat_cycles: int = 50_000
+    #: passive lease: a peer silent longer than this is *suspected* dead
+    lease_cycles: int = 150_000
+    #: once a peer's lease has expired, pendings to it are probed at this
+    #: constant rate instead of backing off exponentially into the void
+    peer_probe_cycles: int = 50_000
+    #: hub silence after which the coordinator *declares* a node dead and
+    #: reconfigures; must comfortably exceed any scheduled restart outage
+    crash_declare_cycles: int = 500_000
+    #: restoring one page from the local checkpoint image on restart
+    ckpt_restore_cycles_per_page: int = 2_000
+    #: deterministic replay from the last checkpoint runs this much faster
+    #: than original execution (no misses, no lock waits)
+    crash_replay_speedup: float = 2.0
     #: page twinning: 5 cycles/word + memory accesses
     twin_cycles_per_word: int = 5
     #: diff application / creation: 7 cycles/word + memory accesses
@@ -242,6 +258,13 @@ class SimConfig:
     #: to this JSON-lines file for later replay (``repro.fuzz.trace``);
     #: empty = off.  Pure observation: simulated numbers are unaffected.
     record_trace: str = ""
+    #: enable the recovery protocol when the fault plan schedules crashes:
+    #: coordinated checkpoints at barrier epochs, transport probing of
+    #: lease-expired peers, and coordinator-driven reconfiguration around
+    #: permanently dead nodes.  With ``False`` a crashed peer's lease
+    #: expiry surfaces as a structured ``PeerDeadError`` instead (useful
+    #: for testing detection in isolation).  Irrelevant without crashes.
+    crash_recovery: bool = True
     #: safety valve: abort runs exceeding this many simulated events
     max_events: int = 50_000_000
 

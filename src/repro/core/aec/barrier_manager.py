@@ -78,6 +78,10 @@ class AECBarrierManager:
     def __init__(self, num_procs: int, total_pages: int) -> None:
         self.num_procs = num_procs
         self.step = 0
+        #: barrier membership: nodes not declared permanently dead.  All
+        #: collection/completion counts run against this set, so barriers
+        #: keep completing after a crash reconfiguration (DESIGN.md §13).
+        self.live: Set[int] = set(range(num_procs))
         #: nodes believed to hold a valid copy of each page
         self.validset: Dict[int, Set[int]] = {}
         #: nodes holding *some* (possibly stale) copy
@@ -90,8 +94,23 @@ class AECBarrierManager:
         self._arrivals: Dict[int, ArrivalInfo] = {}
         self._done: Set[int] = set()
         self._phase = "collect"  # collect | exchange
+        #: last computed instructions, kept for one exchange phase: a death
+        #: mid-exchange must credit receivers for what the dead node would
+        #: have sent them
+        self._last_instr: Dict[int, BarrierInstructions] = {}
 
     # ---- arrival collection ---------------------------------------------------
+
+    @property
+    def phase(self) -> str:
+        return self._phase
+
+    def all_arrived(self) -> bool:
+        return self._phase == "collect" and \
+            self.live <= set(self._arrivals)
+
+    def all_done(self) -> bool:
+        return self._phase == "exchange" and self.live <= self._done
 
     def arrive(self, info: ArrivalInfo) -> bool:
         if self._phase != "collect":
@@ -99,7 +118,7 @@ class AECBarrierManager:
         if info.node in self._arrivals:
             raise RuntimeError(f"node {info.node} arrived twice")
         self._arrivals[info.node] = info
-        return len(self._arrivals) == self.num_procs
+        return self.all_arrived()
 
     def compute(self) -> Dict[int, BarrierInstructions]:
         """All nodes arrived: compute the exchange instructions."""
@@ -205,6 +224,7 @@ class AECBarrierManager:
             }
 
         self._phase = "exchange"
+        self._last_instr = instr
         return instr
 
     # ---- completion tracking ---------------------------------------------------
@@ -215,12 +235,62 @@ class AECBarrierManager:
         if node in self._done:
             raise RuntimeError(f"node {node} reported done twice")
         self._done.add(node)
-        return len(self._done) == self.num_procs
+        return self.all_done()
 
     def complete(self) -> int:
         """Finish the episode; returns the new step number."""
         self.step += 1
         self._arrivals.clear()
         self._done.clear()
+        self._last_instr = {}
         self._phase = "collect"
         return self.step
+
+    # ---- crash reconfiguration -------------------------------------------------
+
+    def remove_member(self, dead: int) -> Dict[str, object]:
+        """Drop a permanently dead node from barrier membership.
+
+        Scrubs the dead node from every validset/copyset, reassigns homes
+        it held, and reports what the caller (node 0's recovery hook) must
+        repair: ``orphans`` — pages whose *only* copies died with the node
+        (node 0 adopts them from the last checkpoint image); ``homes`` —
+        reassignments to broadcast; ``expect_from_dead`` — per-receiver
+        counts of bar_diffs/bar_wn messages the dead node owed this
+        exchange phase, which receivers credit so the phase can end.
+        """
+        self.live.discard(dead)
+        self._arrivals.pop(dead, None)
+        self._done.discard(dead)
+        orphans: List[int] = []
+        homes: Dict[int, int] = {}
+        for pg in sorted(set(self.validset) | set(self.copyset)):
+            vs = self.validset.setdefault(pg, set())
+            cs = self.copyset.setdefault(pg, set())
+            vs.discard(dead)
+            cs.discard(dead)
+            if not cs:
+                # every copy died with the node: node 0 adopts the page
+                # from the checkpoint image (state since the last barrier
+                # epoch is lost — inherent to unreplicated crash-stop)
+                orphans.append(pg)
+                vs.add(0)
+                cs.add(0)
+                self.homes[pg] = 0
+                homes[pg] = 0
+            elif self.homes.get(pg, 0) == dead:
+                home = min(vs) if vs else min(cs)
+                self.homes[pg] = home
+                homes[pg] = home
+        expect: Dict[int, List[int]] = {}
+        if self._phase == "exchange":
+            instr = self._last_instr.get(dead)
+            if instr is not None and dead not in self._done:
+                for _lock, _pages, dests in instr.cs_sends:
+                    for d in dests:
+                        expect.setdefault(d, [0, 0])[0] += 1
+                for _pg, _epoch, dests in instr.wn_sends:
+                    for d in dests:
+                        expect.setdefault(d, [0, 0])[1] += 1
+        return {"orphans": orphans, "homes": homes,
+                "expect_from_dead": expect}

@@ -124,6 +124,53 @@ class AECLockManager:
             return nxt, grant, predictions
         return None
 
+    def peer_dead(self, dead: int
+                  ) -> Tuple[List[Tuple[int, GrantInfo, Predictions]],
+                             int, int]:
+        """Reconfigure every managed lock around a permanently dead node.
+
+        Crash recovery (DESIGN.md §13): purge the dead node from waiting /
+        virtual queues, and when it *held* a token, regenerate the token
+        from manager state — treat the death as a release that reported
+        nothing (its un-pushed critical-section work is lost with it, so
+        its diff history and coverage must not survive either: a grant
+        claiming the dead node's push covered the acquirer, or an
+        invalidate list naming it as the modifier to fetch from, would
+        send survivors into a void).
+
+        Returns (grants to send to unblocked waiters, tokens regenerated,
+        waiters purged).
+        """
+        from collections import deque
+
+        grants: List[Tuple[int, GrantInfo, Predictions]] = []
+        regenerated = 0
+        purged = 0
+        for lock_id, ml in sorted(self.locks.items()):
+            q = ml.pred.waiting_queue
+            if dead in q:
+                purged += sum(1 for p in q if p == dead)
+                ml.pred.waiting_queue = deque(p for p in q if p != dead)
+            if dead in ml.pred.virtual_queue:
+                ml.pred.virtual_queue = [p for p in ml.pred.virtual_queue
+                                         if p != dead]
+            for pg in [pg for pg, m in ml.history.items() if m == dead]:
+                del ml.history[pg]
+            if ml.pred.last_owner == dead:
+                ml.last_owner_update_set = []
+                ml.coverage = set()
+            if ml.pred.holder == dead:
+                ml.holder_update_set = []
+                result = self.release(lock_id, dead, [], [])
+                # the release above re-points last_owner at the dead node;
+                # scrub the same hazards it would reintroduce
+                ml.coverage = set()
+                ml.last_owner_update_set = []
+                regenerated += 1
+                if result is not None:
+                    grants.append(result)
+        return grants, regenerated, purged
+
     # ---- internals -------------------------------------------------------------
 
     def _grant(self, ml: ManagedLock,

@@ -20,7 +20,7 @@ Key protocol behaviours implemented here, in the paper's terms:
 """
 from __future__ import annotations
 
-from typing import Dict, Generator, List, Optional, Set, Tuple
+from typing import Any, Callable, Dict, Generator, List, Optional, Set, Tuple
 
 import numpy as np
 
@@ -37,6 +37,14 @@ from repro.memory.diff import Diff, merge_diffs
 from repro.memory.write_notice import WriteNotice
 from repro.network.message import Message
 from repro.protocols.base import ProtocolNode, World
+
+#: reply sentinel injected by crash recovery: the request's destination was
+#: declared permanently dead; re-issue (retargeted) or fail loudly
+_RETRY_DEAD = object()
+
+
+class PeerLostError(RuntimeError):
+    """A request's destination died and no retarget route exists."""
 
 
 class AECNode(ProtocolNode):
@@ -80,10 +88,25 @@ class AECNode(ProtocolNode):
         self._bar_instr: Optional[BarrierInstructions] = None
         self._bar_recv_diffs = 0
         self._bar_recv_wns = 0
+        #: src -> [bar_diffs, bar_wn] received this exchange phase; lets a
+        #: crash reconfiguration credit exactly what a dead node still owed
+        self._bar_recv_from: Dict[int, List[int]] = {}
         self._bar_sends_done = False
         self._bar_done_sent = False
         # ---- request/reply plumbing
         self._replies: Dict[int, Future] = {}
+        #: outstanding request id -> destination node (crash recovery needs
+        #: to find and fail requests addressed to a declared-dead peer)
+        self._reply_dst: Dict[Any, int] = {}
+        # ---- crash recovery: lock-manager re-homing (DESIGN.md §13)
+        #: dead manager node -> adoptive manager (node 0)
+        self._mgr_remap: Dict[int, int] = {}
+        #: node 0 only, while collecting survivor lock reports:
+        #: (dead node, live nodes still to report)
+        self._lockrep_wait: Optional[Tuple[int, Set[int]]] = None
+        self._lockrep_reports: List[Dict[str, Any]] = []
+        #: lock traffic for locks under rebuild, replayed afterwards
+        self._lockrep_deferred: List[Tuple[str, Dict[str, Any]]] = []
         self._req_seq = 0
         self._freeze_seq = 0
         # ---- observability: open lock-hold spans and episode metrics
@@ -120,6 +143,7 @@ class AECNode(ProtocolNode):
             "aec.bar_wn": self._on_bar_wn,
             "aec.bar_done": self._on_bar_done,
             "aec.bar_complete": self._on_bar_complete,
+            "recovery.lock_report": self._on_lock_report,
         }
 
     # ===================================================== helpers
@@ -139,6 +163,13 @@ class AECNode(ProtocolNode):
         self._req_seq += 1
         return self._req_seq
 
+    def _lock_home(self, lock_id: int) -> int:
+        """The lock's manager node, following crash-recovery re-homing."""
+        mgr = self.sync.lock_manager(lock_id)
+        if self._mgr_remap:
+            return self._mgr_remap.get(mgr, mgr)
+        return mgr
+
     def _discard_update(self, pu: PendingUpdate, reason: str) -> None:
         """Account a buffered eager push that is (partly) thrown away."""
         self.world.diff_stats.diffs_wasted += len(pu.diffs) - len(pu.applied)
@@ -152,15 +183,36 @@ class AECNode(ProtocolNode):
             pu.span = 0
 
     def _request(self, dst: int, kind: str, payload: dict, nbytes: int,
-                 category: str) -> Generator:
-        """Send a request and block until the reply arrives; returns it."""
-        rid = (self.node_id, self._next_req())
-        fut = self.new_future(kind)
-        self._replies[rid] = fut
-        payload = dict(payload, req_id=rid, requester=self.node_id)
-        yield Send(dst, Message(kind, payload, nbytes), category)
-        reply = yield Wait(fut, category)
-        return reply
+                 category: str,
+                 retarget: Optional[Callable[[int], int]] = None
+                 ) -> Generator:
+        """Send a request and block until the reply arrives; returns it.
+
+        If crash recovery declares ``dst`` dead mid-wait, the blocked
+        future resolves to a retry sentinel: with ``retarget`` the request
+        is re-issued to ``retarget(dst)`` (e.g. a page's reassigned home);
+        without one — or if the route doesn't change — the request cannot
+        complete and fails loudly with :class:`PeerLostError`.
+        """
+        rec = self.world.recovery
+        while True:
+            if rec is None or not rec.is_permanently_dead(dst):
+                rid = (self.node_id, self._next_req())
+                fut = self.new_future(kind)
+                self._replies[rid] = fut
+                self._reply_dst[rid] = dst
+                p = dict(payload, req_id=rid, requester=self.node_id)
+                yield Send(dst, Message(kind, p, nbytes), category)
+                reply = yield Wait(fut, category)
+                if reply is not _RETRY_DEAD:
+                    return reply
+            ndst = retarget(dst) if retarget is not None else None
+            if ndst is None or ndst == dst:
+                raise PeerLostError(
+                    f"node {self.node_id}: {kind} to dead node {dst} "
+                    "cannot be re-routed")
+            rec.stats.rerouted_requests += 1
+            dst = ndst
 
     def _reply(self, msg: Message, payload: dict, nbytes: int) -> Message:
         return Message("aec.reply",
@@ -168,6 +220,7 @@ class AECNode(ProtocolNode):
 
     def _on_reply(self, msg: Message):
         fut = self._replies.pop(msg.payload["req_id"])
+        self._reply_dst.pop(msg.payload["req_id"], None)
         yield Resolve(fut, msg.payload)
 
     def _list_delay(self, nelements: int, category: str) -> Delay:
@@ -397,7 +450,11 @@ class AECNode(ProtocolNode):
                                              page=pn, home=home)
                 reply = yield from self._request(
                     home, "aec.page_req", {"pn": pn},
-                    nbytes=8, category="data")
+                    nbytes=8, category="data",
+                    # the home may die mid-fetch: follow the recovery
+                    # reassignment (node 0 adopts orphans, so the default
+                    # route always has a copy)
+                    retarget=lambda _old, pn=pn: self.homes.get(pn, 0))
                 self.span_end(fetch_span)
                 self.store.ensure(pn, reply["content"])
                 self.hw.page_updated(self.page_addr(pn), self.page_words())
@@ -430,9 +487,18 @@ class AECNode(ProtocolNode):
         elif meta.cs_diff_source is not None:
             lock, modifier = meta.cs_diff_source
             if modifier != self.node_id:
-                reply = yield from self._request(
-                    modifier, "aec.cs_diff_req", {"lock": lock, "pn": pn},
-                    nbytes=12, category="data")
+                try:
+                    reply = yield from self._request(
+                        modifier, "aec.cs_diff_req", {"lock": lock, "pn": pn},
+                        nbytes=12, category="data")
+                except PeerLostError:
+                    # the modifier died with its diff history; the page's
+                    # home (possibly reassigned) holds the freshest
+                    # surviving copy — fall back to a full refetch
+                    meta.cs_diff_source = None
+                    meta.needs_refetch = True
+                    yield from self._make_valid(pn)
+                    return
                 for d in reply["diffs"]:
                     yield from self._apply_cs_diff(pn, d, "data")
                     self._absorb_lock_diff(lock, d)
@@ -445,9 +511,15 @@ class AECNode(ProtocolNode):
         collected: List[Diff] = []
         for writer in writers:
             floor = meta.applied_outside.get(writer, -1)
-            reply = yield from self._request(
-                writer, "aec.wn_diff_req", {"pn": pn, "floor": floor},
-                nbytes=12, category="data")
+            try:
+                reply = yield from self._request(
+                    writer, "aec.wn_diff_req", {"pn": pn, "floor": floor},
+                    nbytes=12, category="data")
+            except PeerLostError:
+                meta.pending_notices.clear()
+                meta.needs_refetch = True
+                yield from self._make_valid(pn)
+                return
             for d in reply["diffs"]:
                 d.origin = writer
                 collected.append(d)
@@ -476,13 +548,13 @@ class AECNode(ProtocolNode):
     # ===================================================== locks (program side)
 
     def acquire_notice(self, lock_id: int) -> Generator:
-        mgr = self.sync.lock_manager(lock_id)
+        mgr = self._lock_home(lock_id)
         yield Send(mgr, Message("aec.notice",
                                 {"lock": lock_id, "proc": self.node_id}, 4),
                    "busy")
 
     def acquire(self, lock_id: int) -> Generator:
-        mgr = self.sync.lock_manager(lock_id)
+        mgr = self._lock_home(lock_id)
         fut = self.new_future(f"grant{lock_id}")
         self._grant_futs[lock_id] = fut
         wait_start = self.now()
@@ -737,7 +809,7 @@ class AECNode(ProtocolNode):
             "covered": covered,
             "modified": modified,
         }
-        yield Send(self.sync.lock_manager(lock_id),
+        yield Send(self._lock_home(lock_id),
                    Message("aec.lock_release", payload,
                            4 * (len(covered) + len(modified))),
                    "synch")
@@ -765,6 +837,7 @@ class AECNode(ProtocolNode):
         self._bar_instr = None
         self._bar_recv_diffs = 0
         self._bar_recv_wns = 0
+        self._bar_recv_from = {}
         self._bar_sends_done = False
         self._bar_done_sent = False
         info = ArrivalInfo(
@@ -849,6 +922,11 @@ class AECNode(ProtocolNode):
         lock_id = msg.payload["lock"]
         requester = msg.payload["requester"]
         yield self._list_delay(self.machine.num_procs, "ipc")
+        if self._lock_under_rebuild(lock_id):
+            # adopted lock, survivor reports still arriving: granting now
+            # could duplicate a token a survivor is about to report held
+            self._lockrep_deferred.append(("req", dict(msg.payload)))
+            return
         result = self.lock_mgr.request(lock_id, requester)
         if result is not None:
             grant, predictions = result
@@ -857,6 +935,9 @@ class AECNode(ProtocolNode):
     def _on_lock_release(self, msg: Message):
         p = msg.payload
         yield self._list_delay(len(p["covered"]) + len(p["modified"]), "ipc")
+        if self._lock_under_rebuild(p["lock"]):
+            self._lockrep_deferred.append(("rel", dict(p)))
+            return
         result = self.lock_mgr.release(p["lock"], p["releaser"],
                                        p["covered"], p["modified"])
         if result is not None:
@@ -983,13 +1064,17 @@ class AECNode(ProtocolNode):
         assert self.bar_mgr is not None, "bar_arrive at non-manager node"
         yield self._list_delay(info.element_count, "ipc")
         if self.bar_mgr.arrive(info):
-            instructions = self.bar_mgr.compute()
-            total = sum(i.element_count for i in instructions.values())
-            yield self._list_delay(total, "ipc")
-            for node, instr in sorted(instructions.items()):
-                yield Send(node, Message("aec.bar_lists", instr,
-                                         4 * max(instr.element_count, 1)),
-                           "ipc")
+            yield from self._bar_broadcast_instructions()
+
+    def _bar_broadcast_instructions(self) -> Generator:
+        """Every live node arrived: compute and push the exchange lists."""
+        instructions = self.bar_mgr.compute()
+        total = sum(i.element_count for i in instructions.values())
+        yield self._list_delay(total, "ipc")
+        for node, instr in sorted(instructions.items()):
+            yield Send(node, Message("aec.bar_lists", instr,
+                                     4 * max(instr.element_count, 1)),
+                       "ipc")
 
     def _on_bar_lists(self, msg: Message):
         instr: BarrierInstructions = msg.payload
@@ -1031,6 +1116,7 @@ class AECNode(ProtocolNode):
 
     def _on_bar_diffs(self, msg: Message):
         self._bar_recv_diffs += 1
+        self._bar_recv_from.setdefault(msg.src, [0, 0])[0] += 1
         for pn, diff in sorted(msg.payload["diffs"].items()):
             if self.store.has(pn):
                 cycles = self.machine.diff_apply_cycles(max(diff.nwords, 1))
@@ -1046,6 +1132,7 @@ class AECNode(ProtocolNode):
 
     def _on_bar_wn(self, msg: Message):
         self._bar_recv_wns += 1
+        self._bar_recv_from.setdefault(msg.src, [0, 0])[1] += 1
         for wn in msg.payload["notices"]:
             meta: AECPageMeta = self.page(wn.page_number)
             if wn.writer == self.node_id:
@@ -1078,11 +1165,15 @@ class AECNode(ProtocolNode):
         assert self.bar_mgr is not None
         yield Delay(self.machine.list_cycles(1), "ipc")
         if self.bar_mgr.node_done(msg.payload["node"]):
-            new_step = self.bar_mgr.complete()
-            self.world.barrier_events += 1
-            for node in range(self.machine.num_procs):
-                yield Send(node, Message("aec.bar_complete",
-                                         {"step": new_step}, 4), "ipc")
+            yield from self._bar_finish()
+
+    def _bar_finish(self) -> Generator:
+        """Every live node finished the exchange: release the barrier."""
+        new_step = self.bar_mgr.complete()
+        self.world.note_barrier_complete()
+        for node in sorted(self.bar_mgr.live):
+            yield Send(node, Message("aec.bar_complete",
+                                     {"step": new_step}, 4), "ipc")
 
     def _on_bar_complete(self, msg: Message):
         fut = self._bar_complete_fut
@@ -1093,3 +1184,245 @@ class AECNode(ProtocolNode):
         # lock request may reach us before our own program task resumes
         self.lock_mgr.reset_step_state()
         yield Resolve(fut, msg.payload)
+
+    # ---- crash recovery (DESIGN.md §13)
+
+    def on_peer_dead(self, dead: int, payload: Dict[str, Any]) -> Generator:
+        """Reconfigure around a permanently dead peer.
+
+        Node 0 receives the coordinator's verdict first, repairs the
+        global structures (barrier membership, copysets, homes, orphan
+        pages from the last checkpoint) and broadcasts the amended
+        verdict to the survivors; every node — node 0 included — then
+        runs the common part: token regeneration for locks it manages,
+        scrubbing every table that routes to the dead node, failing
+        requests blocked on it, and crediting whatever it still owed
+        the current barrier exchange.
+        """
+        rec = self.world.recovery
+        assert rec is not None, "recovery.reconfig without a controller"
+        rehomed = [lk for lk in range(self.sync.num_locks)
+                   if self.sync.lock_manager(lk) == dead]
+        info: Dict[str, Any] = payload
+        if payload.get("origin") == "coordinator":
+            minfo = self.bar_mgr.remove_member(dead)
+            rec.stats.barrier_reconfigs += 1
+            if rehomed:
+                # locks managed by the dead node re-home here: collect one
+                # report per survivor before serving them again
+                self._lockrep_wait = (dead, set(self.bar_mgr.live))
+                self._lockrep_reports = []
+            for pn in minfo["orphans"]:
+                # adopt from the coordinated checkpoint: work the dead
+                # node did since that epoch is lost (crash-stop without
+                # replication cannot do better)
+                img = rec.checkpoints.page_image(dead, pn)
+                yield Delay(self.machine.mem_access_cycles(self.page_words()),
+                            "ipc")
+                self.store.ensure(pn, None if img is None else img.copy())
+                self.hw.page_updated(self.page_addr(pn), self.page_words())
+                meta: AECPageMeta = self.page(pn)
+                meta.pending_notices.clear()
+                meta.cs_diff_source = None
+                meta.needs_refetch = False
+                meta.valid = True
+                meta.ever_valid = True
+                self.gained_valid.add(pn)
+                self.lost_valid.discard(pn)
+                rec.stats.orphan_pages_restored += 1
+            info = {"dead": dead, "origin": "manager",
+                    "homes": minfo["homes"],
+                    "expect_from_dead": minfo["expect_from_dead"]}
+            nbytes = 16 + 8 * len(minfo["homes"]) \
+                + 8 * len(minfo["expect_from_dead"])
+            for node in sorted(self.bar_mgr.live - {self.node_id}):
+                yield Send(node, Message("recovery.reconfig", dict(info),
+                                         nbytes), "ipc")
+        # ---- common reconfiguration on every surviving node
+        yield self._list_delay(self.machine.num_procs, "ipc")
+        # lock-manager role: purge the dead node from the queues and
+        # regenerate any token it held, unblocking waiters
+        grants, regen, purged = self.lock_mgr.peer_dead(dead)
+        rec.stats.tokens_regenerated += regen
+        rec.stats.waiters_purged += purged
+        for nxt, grant, predictions in grants:
+            yield from self._send_grant(nxt, grant, predictions)
+        # follow the manager's home reassignments
+        self.homes.update(info.get("homes", {}))
+        # scrub per-page state that routes to the dead node
+        for pn, meta in self.pages.items():
+            if not isinstance(meta, AECPageMeta):
+                continue
+            if meta.cs_diff_source is not None \
+                    and meta.cs_diff_source[1] == dead:
+                # its CS diff history died with it: full refetch instead
+                meta.cs_diff_source = None
+                meta.needs_refetch = True
+            if any(wn.writer == dead for wn in meta.pending_notices):
+                # its outside-of-CS diffs are gone too
+                meta.pending_notices[:] = [wn for wn in meta.pending_notices
+                                           if wn.writer != dead]
+                meta.needs_refetch = True
+        # buffered eager pushes from the dead node are garbage
+        for lock in [lk for lk, pu in self.pending_updates.items()
+                     if pu.sender == dead]:
+            self._discard_update(self.pending_updates.pop(lock), "peer_dead")
+        # an acquirer blocked on the dead node's push degrades to the
+        # lost-push fallback (same path as a push dropped by the network)
+        expect = self._upset_expect
+        if expect is not None and expect[1] == dead and not expect[3].done:
+            yield Resolve(expect[3], None)
+        # fail outstanding requests addressed to the dead node: the
+        # blocked program re-issues along recovery routes (or raises)
+        for rid in [r for r, d in self._reply_dst.items() if d == dead]:
+            fut = self._replies.pop(rid, None)
+            self._reply_dst.pop(rid, None)
+            if fut is not None and not fut.done:
+                yield Resolve(fut, _RETRY_DEAD)
+        # locks the dead node managed: re-home them to node 0 and
+        # re-register our holds and wants so the adoptive manager can
+        # rebuild queue state (the manager-side state died with the node)
+        if rehomed:
+            self._mgr_remap[dead] = 0
+            report = self._lock_report_for(rehomed)
+            if self.node_id == 0:
+                yield from self._collect_lock_report(report)
+            else:
+                nbytes = 4 * (1 + 2 * len(report["holds"])
+                              + len(report["wants"])
+                              + 3 * len(report["serviceable"]))
+                yield Send(0, Message("recovery.lock_report", report,
+                                      nbytes), "ipc")
+        # credit the bar_diffs / bar_wn messages the dead node owed us
+        owed = info.get("expect_from_dead", {}).get(self.node_id)
+        if owed is not None and self._bar_instr is not None:
+            got = self._bar_recv_from.get(dead, [0, 0])
+            self._bar_recv_diffs += max(0, owed[0] - got[0])
+            self._bar_recv_wns += max(0, owed[1] - got[1])
+        yield from self._maybe_barrier_done()
+        # manager: the death may have made a phase complete with the dead
+        # node as its last straggler
+        if self.bar_mgr is not None:
+            if self.bar_mgr.all_arrived():
+                yield from self._bar_broadcast_instructions()
+            elif self.bar_mgr.all_done():
+                yield from self._bar_finish()
+
+    def _lock_under_rebuild(self, lock_id: int) -> bool:
+        """Is this lock adopted from a dead manager still being rebuilt?"""
+        return (self._lockrep_wait is not None
+                and self.sync.lock_manager(lock_id) == self._lockrep_wait[0])
+
+    def _lock_report_for(self, rehomed: List[int]) -> Dict[str, Any]:
+        """This node's contribution to rebuilding a dead manager's locks:
+        tokens it holds, grants it is blocked on, and the per-lock diff
+        history it can serve (``aec.cs_diff_req``)."""
+        holds: List[Tuple[int, int]] = []
+        wants: List[int] = []
+        serviceable: List[Tuple[int, int, int]] = []
+        for lk in rehomed:
+            if lk in self.locks_held:
+                holds.append((lk, self.session(lk).acquire_counter))
+            fut = self._grant_futs.get(lk)
+            if fut is not None and not fut.done:
+                wants.append(lk)
+            sess = self.sessions.get(lk)
+            if sess is not None:
+                for pg in sorted(sess.diff_store):
+                    serviceable.append((lk, pg, sess.acquire_counter))
+        return {"node": self.node_id, "holds": holds, "wants": wants,
+                "serviceable": serviceable}
+
+    def _on_lock_report(self, msg: Message):
+        rep = msg.payload
+        yield self._list_delay(len(rep["holds"]) + len(rep["wants"])
+                               + len(rep["serviceable"]), "ipc")
+        yield from self._collect_lock_report(rep)
+
+    def _collect_lock_report(self, rep: Dict[str, Any]) -> Generator:
+        if self._lockrep_wait is None:
+            raise RuntimeError(
+                f"node {self.node_id}: unsolicited lock report from "
+                f"node {rep['node']}")
+        self._lockrep_reports.append(rep)
+        _dead, waiting = self._lockrep_wait
+        waiting.discard(rep["node"])
+        if not waiting:
+            yield from self._rebuild_rehomed_locks()
+
+    def _rebuild_rehomed_locks(self) -> Generator:
+        """Every survivor reported: reconstruct the dead manager's locks.
+
+        Holder and waiters come straight from the reports (FIFO arrival
+        order at the dead manager is unrecoverable, so waiters queue in
+        node order — deterministic, merely a different fair order).  The
+        page history is rebuilt from the diffs survivors can actually
+        serve, newest acquire counter winning, so invalidate lists issued
+        by the adoptive manager never point into a void.  LAP state
+        (affinity, virtual queue) restarts cold.  Anything the dead
+        manager alone knew — un-reported releases, its own holds — is
+        lost; data loss since the last checkpoint is inherent (§13).
+        """
+        reports = sorted(self._lockrep_reports, key=lambda r: r["node"])
+        deferred = self._lockrep_deferred
+        self._lockrep_wait = None
+        self._lockrep_reports = []
+        self._lockrep_deferred = []
+        rec = self.world.recovery
+        holders: Dict[int, Tuple[int, int]] = {}
+        wants: Dict[int, List[int]] = {}
+        history: Dict[int, Dict[int, Tuple[int, int]]] = {}
+        for rep in reports:
+            for lk, counter in rep["holds"]:
+                holders[lk] = (rep["node"], counter)
+            for lk in rep["wants"]:
+                wants.setdefault(lk, []).append(rep["node"])
+            for lk, pg, counter in rep["serviceable"]:
+                cur = history.setdefault(lk, {}).get(pg)
+                if cur is None or counter > cur[0]:
+                    history[lk][pg] = (counter, rep["node"])
+        touched = sorted(set(holders) | set(wants) | set(history))
+        if touched:
+            yield self._list_delay(len(touched), "ipc")
+        for lk in touched:
+            ml = self.lock_mgr.lock(lk)
+            counter_floor = 0
+            newest: Optional[Tuple[int, int]] = None
+            for pg, (counter, node) in sorted(history.get(lk, {}).items()):
+                ml.history[pg] = node
+                counter_floor = max(counter_floor, counter)
+                if newest is None or counter > newest[0]:
+                    newest = (counter, node)
+            hold = holders.get(lk)
+            if hold is not None:
+                node, counter = hold
+                ml.pred.holder = node
+                ml.pred.last_owner = node
+                counter_floor = max(counter_floor, counter)
+            elif newest is not None:
+                # a real last owner makes the next grant non-trivial, so
+                # the acquirer honours the rebuilt invalidate list
+                ml.pred.last_owner = newest[1]
+            ml.pred.acquire_counter = max(ml.pred.acquire_counter,
+                                          counter_floor)
+            ml.last_owner_counter = ml.pred.acquire_counter
+            rec.stats.locks_rehomed += 1
+            for w in wants.get(lk, []):
+                result = self.lock_mgr.request(lk, w)
+                if result is not None:
+                    grant, predictions = result
+                    yield from self._send_grant(w, grant, predictions)
+        # traffic that raced the rebuild replays in arrival order
+        for op, p in deferred:
+            if op == "req":
+                result = self.lock_mgr.request(p["lock"], p["requester"])
+                if result is not None:
+                    grant, predictions = result
+                    yield from self._send_grant(p["requester"], grant,
+                                                predictions)
+            else:
+                rel = self.lock_mgr.release(p["lock"], p["releaser"],
+                                            p["covered"], p["modified"])
+                if rel is not None:
+                    nxt, grant, predictions = rel
+                    yield from self._send_grant(nxt, grant, predictions)

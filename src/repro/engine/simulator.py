@@ -87,14 +87,16 @@ class _NodeRuntime:
         "node_id", "gen", "state", "clock", "delay_end", "delay_seq",
         "isr_busy_until", "isr_cycles_total", "breakdown",
         "wait_start", "wait_isr_snapshot", "wait_category", "done_time",
-        "handler", "messages_received", "messages_sent",
+        "handler", "messages_received", "messages_sent", "dead",
     )
 
     def __init__(self, node_id: int) -> None:
         self.node_id = node_id
         self.gen: Optional[Program] = None
         self.handler: Optional[Handler] = None
-        self.state = "ready"  # ready | delaying | blocked | done
+        # "dead" is the terminal state of a permanently-crashed node; the
+        # transient crash-stop window is the ``dead`` flag instead
+        self.state = "ready"  # ready | delaying | blocked | done | dead
         self.clock = 0.0
         self.delay_end = 0.0
         self.delay_seq = 0  # invalidates stale delay-completion events
@@ -107,6 +109,8 @@ class _NodeRuntime:
         self.done_time: Optional[float] = None
         self.messages_received = 0
         self.messages_sent = 0
+        #: crash-stop window active: NIC black-holes in both directions
+        self.dead = False
 
     def charge(self, category: str, cycles: float) -> None:
         self.breakdown[category] += cycles
@@ -149,6 +153,12 @@ class Simulator:
         self.injector = make_injector(config, self.net_stats)
         #: replaced with a ``ReliableTransport`` by ``World`` when faults on
         self.transport: Any = _NullTransport()
+        #: crash plan armed (``repro.recovery``): enables the dead-node
+        #: checks in transmit/_deliver; one boolean test on the fault-free
+        #: hot path, zero effect on any simulated number while False
+        self.crash_mode = False
+        #: the controller's ``RecoveryStats`` (shared by reference)
+        self.crash_stats: Any = None
         #: wall-clock hot-loop profiler; None (the default) costs one
         #: ``is not None`` check per dispatched event
         self.profiler: Optional[Profiler] = (
@@ -237,7 +247,7 @@ class Simulator:
         self.events_processed = events
         self.run_wall_seconds = perf_counter() - run_t0
         for node in self.nodes:
-            if node.state != "done":
+            if node.state not in ("done", "dead"):
                 raise SimulationError(
                     f"deadlock: node {node.node_id} ended in state {node.state!r} "
                     f"(waiting on {getattr(node, 'wait_category', '?')})"
@@ -296,23 +306,30 @@ class Simulator:
         """
         self._push(max(time, self.now), EV_CALL, fn)
 
-    def _apply_stall(self, stall: Any) -> None:
-        """Freeze a node: an uninterruptible zero-work ISR of ``cycles``.
+    def _apply_interruption(self, node: _NodeRuntime, cycles: float) -> float:
+        """Occupy ``node``'s interrupt engine for ``cycles`` starting now.
 
-        The window occupies the node's interrupt engine (queuing any
-        incoming handlers behind it) and stretches an in-progress delay,
-        exactly like a real ISR would.  The NIC underneath keeps acking.
+        The shared core of every scheduled interruption — fault-plan
+        stalls and crash outage/restore/replay windows: an uninterruptible
+        zero-work ISR that queues incoming handlers behind it and
+        stretches an in-progress delay, exactly like a real ISR would.
+        Returns the window's start time.
         """
-        node = self.nodes[stall.node]
         start = max(self.now, node.isr_busy_until)
-        node.isr_busy_until = start + stall.cycles
-        node.isr_cycles_total += stall.cycles
-        node.charge("others", stall.cycles)
+        node.isr_busy_until = start + cycles
+        node.isr_cycles_total += cycles
+        node.charge("others", cycles)
         if node.state == "delaying":
-            node.delay_end += stall.cycles
+            node.delay_end += cycles
             node.delay_seq += 1
             self._push(node.delay_end, EV_DELAY_END,
                        (node.node_id, node.delay_seq))
+        return start
+
+    def _apply_stall(self, stall: Any) -> None:
+        """Freeze a node per a fault-plan ``NodeStall`` (NIC keeps acking)."""
+        node = self.nodes[stall.node]
+        start = self._apply_interruption(node, stall.cycles)
         stats = self.net_stats
         if stats is not None:
             stats.stalls += 1
@@ -387,6 +404,8 @@ class Simulator:
             raise SimulationError(f"program yielded unknown op {op!r}")
 
     def _wake(self, node: _NodeRuntime, fut: Future) -> None:
+        if node.state == "dead":
+            return  # declared permanently dead while blocked
         if node.state != "blocked":  # pragma: no cover - defensive
             raise SimulationError(f"wake of non-blocked node {node.node_id}")
         wake_time = max(fut.resolve_time, node.isr_busy_until, node.wait_start)
@@ -441,6 +460,11 @@ class Simulator:
         the links (the frame was transmitted and lost in flight), so the
         contention model charges it either way.
         """
+        if self.crash_mode and self.nodes[msg.src].dead:
+            # a crashed node's NIC transmits nothing (retransmission
+            # timers keep firing and re-arm once the node is back up)
+            self.crash_stats.sends_suppressed += 1
+            return
         if not self.injector.enabled:
             arrival = self.network.deliver(msg.src, msg.dst,
                                            msg.total_bytes, time)
@@ -453,6 +477,11 @@ class Simulator:
                 self._push(arrival + extra, EV_ARRIVAL, msg)
 
     def _deliver(self, msg: Message) -> None:
+        if self.crash_mode and self.nodes[msg.dst].dead:
+            # frames reaching a crashed node vanish: no ack, no dedup
+            # record, no CPU — the sender's retransmissions heal the gap
+            self.crash_stats.frames_blackholed += 1
+            return
         transport = self.transport
         if transport.enabled and not transport.on_arrival(msg):
             # NIC-level frame: an ack, a duplicate, or a late retransmission

@@ -21,6 +21,7 @@ from repro.faults.plan import (  # noqa: F401
     BUILTIN_PLANS,
     FaultPlan,
     FaultRule,
+    NodeCrash,
     NodeStall,
     get_plan,
 )

@@ -115,6 +115,55 @@ class NodeStall:
 
 
 @dataclass(frozen=True)
+class NodeCrash:
+    """Crash-stop failure of one node, optionally followed by a restart.
+
+    ``node``/``at`` may be ``None``, in which case the victim and crash
+    time are drawn deterministically from the plan seed (all ``node=None``
+    crashes in one plan hit the *same* drawn victim, modelling one flaky
+    machine).  Node 0 can never crash: it hosts the lock/barrier managers
+    and the recovery coordinator (see DESIGN.md §13 for the rationale and
+    the recovery protocol the crash triggers).
+
+    With ``restart=True`` the node is revived ``down_cycles`` later and
+    replays from the last coordinated checkpoint (charged as restore +
+    replay cycles on its interrupt engine).  With ``restart=False`` the
+    crash is permanent: the coordinator eventually declares the node dead
+    and reconfigures locks/barriers/pages around it.
+    """
+
+    #: victim node; ``None`` = drawn from the plan seed among 1..N-1
+    node: Optional[int] = None
+    #: crash time in cycles; ``None`` = drawn uniformly from [at_lo, at_hi]
+    at: Optional[float] = None
+    at_lo: float = 100_000.0
+    at_hi: float = 400_000.0
+    #: outage length before the restart begins
+    down_cycles: float = 200_000.0
+    restart: bool = True
+
+    def __post_init__(self) -> None:
+        if self.node is not None and self.node <= 0:
+            raise ValueError(
+                "crash node must be >= 1 (node 0 hosts the managers and "
+                "the recovery coordinator)")
+        if self.at is not None and self.at <= 0:
+            raise ValueError("crash time must be > 0")
+        if self.at is None and not (0 < self.at_lo <= self.at_hi):
+            raise ValueError("crash window needs 0 < at_lo <= at_hi")
+        if self.down_cycles <= 0:
+            raise ValueError("down_cycles must be > 0")
+
+    def describe(self) -> str:
+        who = f"node {self.node}" if self.node is not None else "seeded node"
+        when = (f"t={self.at:g}" if self.at is not None
+                else f"t~U[{self.at_lo:g},{self.at_hi:g}]")
+        fate = (f"restart after {self.down_cycles:g} cyc" if self.restart
+                else "no restart (permanent)")
+        return f"{who} crashes at {when}, {fate}"
+
+
+@dataclass(frozen=True)
 class FaultPlan:
     """A named, seeded collection of fault rules and scheduled stalls.
 
@@ -129,6 +178,7 @@ class FaultPlan:
     seed: int = 1
     rules: Tuple[FaultRule, ...] = ()
     stalls: Tuple[NodeStall, ...] = ()
+    crashes: Tuple[NodeCrash, ...] = ()
 
     def with_seed(self, seed: int) -> "FaultPlan":
         return replace(self, seed=seed)
@@ -139,7 +189,9 @@ class FaultPlan:
             lines.append("  rule:  " + rule.describe())
         for stall in self.stalls:
             lines.append("  stall: " + stall.describe())
-        if not self.rules and not self.stalls:
+        for crash in self.crashes:
+            lines.append("  crash: " + crash.describe())
+        if not self.rules and not self.stalls and not self.crashes:
             lines.append("  (no faults: reliable transport only)")
         return "\n".join(lines)
 
@@ -178,10 +230,30 @@ def _stall_one_node() -> FaultPlan:
     )
 
 
+def _crash_one_node() -> FaultPlan:
+    return FaultPlan(
+        name="crash-one-node", seed=1,
+        crashes=(NodeCrash(),),
+    )
+
+
+def _crash_restart() -> FaultPlan:
+    # the same seeded victim crashes twice: once early, once after it has
+    # rejoined and accumulated fresh state since its first checkpoint
+    return FaultPlan(
+        name="crash-restart", seed=1,
+        crashes=(NodeCrash(at_lo=80_000.0, at_hi=250_000.0,
+                           down_cycles=150_000.0),
+                 NodeCrash(at_lo=600_000.0, at_hi=900_000.0,
+                           down_cycles=150_000.0)),
+    )
+
+
 #: the standard plans exercised by the headline guarantee tests and CI
 BUILTIN_PLANS: Dict[str, "FaultPlan"] = {
     p.name: p for p in (_lossy_1pct(), _dup_heavy(), _jitter(),
-                        _stall_one_node())
+                        _stall_one_node(), _crash_one_node(),
+                        _crash_restart())
 }
 
 
@@ -193,9 +265,10 @@ def plan_from_dict(doc: Dict) -> FaultPlan:
                                     if r.get("kinds") is not None else None)})
         for r in doc.get("rules", ()))
     stalls = tuple(NodeStall(**s) for s in doc.get("stalls", ()))
+    crashes = tuple(NodeCrash(**c) for c in doc.get("crashes", ()))
     return FaultPlan(name=doc.get("name", "custom"),
                      seed=int(doc.get("seed", 1)),
-                     rules=rules, stalls=stalls)
+                     rules=rules, stalls=stalls, crashes=crashes)
 
 
 def get_plan(spec: str) -> FaultPlan:

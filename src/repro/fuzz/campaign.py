@@ -155,7 +155,8 @@ def _cell_failure(result, spec: WorkloadSpec,
 
 def run_campaign(seeds: Sequence[int],
                  protocols: Sequence[str] = ("aec", "tmk"),
-                 plans: Sequence[str] = (NO_FAULTS, "lossy-1pct"),
+                 plans: Sequence[str] = (NO_FAULTS, "lossy-1pct",
+                                        "crash-one-node"),
                  scale: str = "test",
                  jobs: int = 1,
                  cache_dir: Optional[str] = None,

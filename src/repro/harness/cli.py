@@ -150,6 +150,8 @@ def _cmd_run(args) -> int:
     print(result.summary())
     if result.net_faults is not None:
         print(f"  {result.net_faults.summary()}")
+    if result.recovery is not None:
+        print(f"  {result.recovery.summary()}")
     if args.check_consistency:
         _print_check_report(result.check_report, args.verbose)
     if args.verbose:
@@ -623,6 +625,8 @@ def _cmd_faults(args) -> int:
                 bits.append(f"{len(plan.rules)} rule(s)")
             if plan.stalls:
                 bits.append(f"{len(plan.stalls)} stall(s)")
+            if plan.crashes:
+                bits.append(f"{len(plan.crashes)} crash(es)")
             print(f"{name:<16} {', '.join(bits)}")
         print("\nuse NAME@SEED to override a plan's fault seed "
               "(e.g. lossy-1pct@7)")
@@ -649,6 +653,8 @@ def _cmd_faults(args) -> int:
                      config=config)
     print(result.summary())
     print(f"  {result.net_faults.summary()}")
+    if result.recovery is not None:
+        print(f"  {result.recovery.summary()}")
     if args.check_consistency:
         _print_check_report(result.check_report, verbose=True)
         return 0 if result.check_report.clean else 1
@@ -934,10 +940,11 @@ def build_parser() -> argparse.ArgumentParser:
     frun.add_argument("--protocols", nargs="+", default=["aec", "tmk"],
                       metavar="PROTO",
                       help="protocols to fuzz (default: aec tmk)")
-    frun.add_argument("--plans", nargs="+", default=["none", "lossy-1pct"],
+    frun.add_argument("--plans", nargs="+",
+                      default=["none", "lossy-1pct", "crash-one-node"],
                       metavar="PLAN",
                       help="fault plans per cell; 'none' = fault-free "
-                           "(default: none lossy-1pct)")
+                           "(default: none lossy-1pct crash-one-node)")
     frun.add_argument("--scale", choices=SCALES, default="test")
     frun.add_argument("--jobs", type=int, default=1, metavar="N")
     frun.add_argument("--cache-dir", metavar="DIR",

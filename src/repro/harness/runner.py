@@ -159,6 +159,8 @@ def run_app(app: Application, protocol: str = "aec",
         profile=profile,
         check_report=check_report,
         net_faults=world.sim.net_stats,
+        recovery=(world.recovery.stats if world.recovery is not None
+                  else None),
         clock_hz=machine.clock_hz,
         extra={
             "lock_vars": [(lv.lock_id, lv.name, lv.group)
@@ -210,3 +212,22 @@ def _publish_summary_metrics(world: World, execution_time: float) -> None:
         recovery.inc(net.dup_suppressed, event="dup_suppressed")
         recovery.inc(net.acks_sent, event="ack_sent")
         recovery.inc(net.lap_fallbacks, event="lap_fallback")
+    rec = world.recovery
+    if rec is not None:
+        rs = rec.stats
+        events = m.counter("recovery.events",
+                           "crash / recovery protocol events")
+        events.inc(rs.crashes, event="crash")
+        events.inc(rs.revivals, event="restart")
+        events.inc(rs.checkpoints, event="checkpoint")
+        events.inc(rs.heartbeats_sent, event="heartbeat")
+        events.inc(rs.leases_expired, event="lease_expired")
+        events.inc(rs.peers_declared_dead, event="declared_dead")
+        events.inc(rs.frames_blackholed, event="frame_blackholed")
+        events.inc(rs.sends_suppressed, event="send_suppressed")
+        events.inc(rs.parked_probes, event="parked_probe")
+        events.inc(rs.tokens_regenerated, event="token_regenerated")
+        events.inc(rs.waiters_purged, event="waiter_purged")
+        events.inc(rs.barrier_reconfigs, event="barrier_reconfig")
+        events.inc(rs.orphan_pages_restored, event="orphan_restored")
+        events.inc(rs.rerouted_requests, event="request_rerouted")

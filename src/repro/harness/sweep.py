@@ -42,7 +42,7 @@ from repro.stats.run_result import RunResult
 #: bump when the RunResult layout or key composition changes incompatibly;
 #: part of every cache key, so old entries miss instead of deserializing
 #: into garbage.
-CACHE_FORMAT_VERSION = 3  # v3: fuzz workload + trace fields in SimConfig
+CACHE_FORMAT_VERSION = 4  # v4: crash plans + recovery fields in RunResult
 
 
 @lru_cache(maxsize=1)
@@ -374,6 +374,13 @@ class SweepReport:
         injected = snap.total("net.faults.injected")
         if injected:
             lines.append(f"  injected faults      {injected:>14,.0f}")
+        crashes = snap.total("recovery.events", event="crash")
+        if crashes:
+            restarts = snap.total("recovery.events", event="restart")
+            declared = snap.total("recovery.events", event="declared_dead")
+            lines.append(f"  node crashes         {crashes:>14,.0f}"
+                         f" ({restarts:,.0f} restarted, "
+                         f"{declared:,.0f} declared dead)")
         return "\n".join(lines)
 
     def summary(self) -> str:

@@ -22,6 +22,7 @@ from repro.memory.diff import Diff, create_diff
 from repro.memory.layout import Layout
 from repro.memory.pagestore import PageStore
 from repro.network.message import Message
+from repro.recovery.detector import HEARTBEAT_KIND
 from repro.stats.diff_stats import DiffStats
 from repro.stats.fault_stats import FaultStats
 from repro.sync.objects import SyncRegistry
@@ -72,6 +73,40 @@ class TransportTimeoutError(SimulationError):
         }
 
 
+class PeerDeadError(SimulationError):
+    """A peer's lease expired and crash recovery is disabled.
+
+    With ``SimConfig.crash_recovery=False`` the transport refuses to retry
+    into a void forever: once a pending message's destination has been
+    silent past ``MachineParams.lease_cycles``, the run fails loudly with
+    this structured diagnostic instead.  (With recovery enabled the same
+    condition parks the pending on constant-rate probes and lets the
+    recovery protocol handle the death — see DESIGN.md §13.)
+    """
+
+    def __init__(self, observer: int, peer: int, kind: str, seq: int,
+                 silent_cycles: float, now: float) -> None:
+        self.observer = observer
+        self.peer = peer
+        self.kind = kind
+        self.seq = seq
+        self.silent_cycles = silent_cycles
+        self.now = now
+        super().__init__(
+            f"peer dead: node {peer} silent for {silent_cycles:.0f} cycles "
+            f"(lease expired at node {observer}; unacked {kind} #{seq}, "
+            f"t={now:.0f}, recovery disabled)"
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "error": "peer_dead",
+            "observer": self.observer, "peer": self.peer,
+            "kind": self.kind, "seq": self.seq,
+            "silent_cycles": self.silent_cycles, "time": self.now,
+        }
+
+
 class ReliableTransport:
     """Exactly-once messaging over a faulty network.
 
@@ -105,6 +140,9 @@ class ReliableTransport:
         #: watermark plus the out-of-order seqs above it
         self._recv_high: Dict[Any, int] = {}
         self._recv_gaps: Dict[Any, set] = {}
+        #: installed by ``repro.recovery`` when the plan schedules crashes
+        self.detector: Any = None
+        self.controller: Any = None
 
     # --------------------------------------------------------- sender side
 
@@ -132,6 +170,39 @@ class ReliableTransport:
         msg = self._pending.get(key)
         if msg is None:
             return  # acked in the meantime
+        ctrl = self.controller
+        if ctrl is not None:
+            now = self.sim.now
+            if ctrl.is_permanently_dead(msg.dst):
+                # the coordinator reconfigured around this peer; there is
+                # nobody left to ack this — drop it on the floor
+                self._pending.pop(key, None)
+                ctrl.stats.cancelled_sends += 1
+                return
+            if self.sim.nodes[msg.src].dead:
+                # our own NIC is down: freeze the timer, probe on revival
+                self.sim.schedule_call(
+                    now + self.machine.peer_probe_cycles,
+                    lambda: self._on_timeout(key, attempt, first_sent))
+                return
+            if not self.detector.alive(msg.src, msg.dst, now):
+                # the peer's lease expired: it is dead as far as this
+                # sender can tell.  Exponential backoff would retry into
+                # the void at ever-longer intervals; instead either fail
+                # structurally (recovery off) or park the pending on
+                # constant-rate probes so a restarted peer is picked up
+                # within one probe period (attempt counter frozen).
+                silent = now - self.detector.last_heard_by(msg.src, msg.dst)
+                if not ctrl.recovery_enabled:
+                    raise PeerDeadError(msg.src, msg.dst, msg.kind,
+                                        msg.seq, silent, now)
+                ctrl.stats.parked_probes += 1
+                self.stats.note_retry(msg.kind)
+                self.sim.transmit(msg, now)
+                self.sim.schedule_call(
+                    now + self.machine.peer_probe_cycles,
+                    lambda: self._on_timeout(key, attempt, first_sent))
+                return
         self.stats.timeouts += 1
         if attempt > self.machine.retrans_max_retries:
             raise TransportTimeoutError(
@@ -166,8 +237,29 @@ class ReliableTransport:
         # themselves unreliable (a lost ack is covered by retransmission)
         self.sim.transmit(ack, self.sim.now)
 
+    def cancel_peer(self, peer: int) -> int:
+        """Drop every pending to or from a declared-dead ``peer``.
+
+        Outbound: nobody is left to ack.  The peer's own unacked sends
+        must go too — their timers are frozen on the "own NIC is down"
+        probe loop, which would otherwise respin forever for a node that
+        never revives (each orphaned timer exits on its next fire once
+        the pending is gone).
+        """
+        gone = [key for key, msg in self._pending.items()
+                if msg.dst == peer or msg.src == peer]
+        for key in gone:
+            self._pending.pop(key, None)
+        return len(gone)
+
     def on_arrival(self, msg: Message) -> bool:
         """NIC-level arrival filter; True iff the CPU should see ``msg``."""
+        det = self.detector
+        if det is not None:
+            # every frame the NIC sees renews its sender's lease
+            det.note_frame(msg.dst, msg.src, self.sim.now)
+            if msg.kind == HEARTBEAT_KIND:
+                return False  # pure liveness traffic, never CPU work
         if msg.kind == ACK_KIND:
             body = msg.payload
             self._pending.pop(
@@ -206,12 +298,16 @@ class World:
                       if config.trace else NullTrace())
         from repro.obs import Observability
         self.obs = Observability.from_config(config)
+        self.recovery: Optional[Any] = None
         if config.faults is not None:
             # faulty network: engage the reliable transport and let the
             # injector land fault events on the span timeline
             self.sim.transport = ReliableTransport(self.sim)
             if self.obs.spans.enabled:
                 self.sim.injector.spans = self.obs.spans
+            if config.faults.crashes:
+                from repro.recovery import install_recovery
+                self.recovery = install_recovery(self)
         from repro.check import make_checker
         self.checker = make_checker(config, layout, self.machine.num_procs)
         if config.record_trace:
@@ -236,6 +332,14 @@ class World:
 
     def count_acquire(self, lock_id: int) -> None:
         self.lock_acquires[lock_id] = self.lock_acquires.get(lock_id, 0) + 1
+
+    def note_barrier_complete(self) -> None:
+        """Every protocol's barrier-completion path funnels through here:
+        it counts the episode and — when crash recovery is armed — takes
+        the coordinated checkpoint of the new epoch (a consistent cut)."""
+        self.barrier_events += 1
+        if self.recovery is not None:
+            self.recovery.on_barrier_epoch(self.barrier_events)
 
 
 @dataclass
@@ -328,9 +432,27 @@ class ProtocolNode:
     def handle_message(self, msg: Message) -> Optional[Generator]:
         fn = self._handlers.get(msg.kind)
         if fn is None:
+            if msg.kind == "recovery.reconfig":
+                # common dispatch for the recovery coordinator's verdicts,
+                # so every protocol gets the hook without registering it
+                return self.on_peer_dead(msg.payload["dead"], msg.payload)
             raise RuntimeError(f"{self.name} node {self.node_id}: "
                                f"no handler for message {msg.kind!r}")
         return fn(msg)
+
+    def on_peer_dead(self, dead: int, payload: Dict[str, Any]
+                     ) -> Optional[Generator]:
+        """A peer was declared permanently dead (``repro.recovery``).
+
+        Runs as an ISR on every live node: first on node 0 straight from
+        the coordinator (``payload["origin"] == "coordinator"``), then on
+        the others via node 0's reconfig broadcast.  Protocols that can
+        reconfigure around a death override this; the default refuses —
+        better a loud failure than a silent hang on a dead peer.
+        """
+        raise SimulationError(
+            f"{self.name} node {self.node_id}: peer {dead} declared dead "
+            f"but this protocol has no crash recovery")
 
     # ------------------------------------------------- page/diff primitives
 

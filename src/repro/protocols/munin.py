@@ -434,7 +434,7 @@ class MuninNode(ProtocolNode):
         yield Delay(self.machine.list_cycles(1), "ipc")
         if self._bar_count == self.machine.num_procs:
             self._bar_count = 0
-            self.world.barrier_events += 1
+            self.world.note_barrier_complete()
             for node in range(self.machine.num_procs):
                 yield Send(node, Message("mun.bar_release", {}, 4), "ipc")
 

@@ -104,7 +104,7 @@ class SCNode(ProtocolNode):
         if count == n:
             c.barrier_count[barrier_id] = 0
             c.barrier_waiters[barrier_id] = []
-            self.world.barrier_events += 1
+            self.world.note_barrier_complete()
             for fut in waiters:
                 yield Resolve(fut, None)
             return

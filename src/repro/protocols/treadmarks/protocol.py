@@ -582,7 +582,7 @@ class TreadMarksNode(ProtocolNode):
         for _node, (vc_i, _recs) in self._bar_arrivals.items():
             for w, v in enumerate(vc_i):
                 merged_vc[w] = max(merged_vc[w], v)
-        self.world.barrier_events += 1
+        self.world.note_barrier_complete()
         arrivals = dict(self._bar_arrivals)
         self._bar_arrivals = {}
         for node_i, (vc_i, _recs) in sorted(arrivals.items()):

@@ -1,0 +1,25 @@
+"""Crash-stop fault injection and checkpoint/recovery (DESIGN.md §13).
+
+Public surface:
+
+- :func:`install_recovery` — called by ``World`` when the fault plan
+  schedules crashes; wires the controller into simulator + transport.
+- :class:`CrashController` / :func:`resolve_crashes` — seeded schedule,
+  crash/revive events, coordinated checkpoints, permanent-death protocol.
+- :class:`FailureDetector` — passive leases + NIC-level heartbeats.
+- :class:`CheckpointStore` — per-node page images at barrier epochs.
+- :class:`RecoveryStats` — the counters attached to ``RunResult.recovery``.
+"""
+from repro.recovery.checkpoint import CheckpointStore
+from repro.recovery.crash import (CrashController, ResolvedCrash,
+                                  RECONFIG_KIND, install_recovery,
+                                  resolve_crashes)
+from repro.recovery.detector import (FailureDetector, HEARTBEAT_BYTES,
+                                     HEARTBEAT_KIND)
+from repro.recovery.stats import RecoveryStats
+
+__all__ = [
+    "CheckpointStore", "CrashController", "FailureDetector",
+    "HEARTBEAT_BYTES", "HEARTBEAT_KIND", "RECONFIG_KIND", "RecoveryStats",
+    "ResolvedCrash", "install_recovery", "resolve_crashes",
+]

@@ -1,0 +1,102 @@
+"""Counters for the crash/recovery subsystem (``RunResult.recovery``)."""
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict
+
+
+@dataclass
+class RecoveryStats:
+    """What the crash controller, detector and recovery protocol did.
+
+    A plain mutable dataclass (like ``NetFaultStats``): shared by reference
+    between the simulator, the transport and the controller, then attached
+    to the run result and pickled across the sweep fan-out.
+    """
+
+    plan: str = ""
+    fault_seed: int = 0
+    #: resolved crash schedule, for provenance: (node, at, down, restart)
+    schedule: list = field(default_factory=list)
+
+    # crash/revive lifecycle
+    crashes: int = 0
+    #: scheduled crashes skipped because the victim was already dead/done
+    crashes_skipped: int = 0
+    revivals: int = 0
+    down_cycles: float = 0.0
+    restore_cycles: float = 0.0
+    replay_cycles: float = 0.0
+    restored_pages: int = 0
+
+    # coordinated checkpoints
+    checkpoints: int = 0
+    checkpoint_pages: int = 0
+
+    # failure detection
+    heartbeats_sent: int = 0
+    leases_expired: int = 0
+    peers_declared_dead: int = 0
+
+    # dead-window network effects
+    frames_blackholed: int = 0
+    sends_suppressed: int = 0
+    parked_probes: int = 0
+    cancelled_sends: int = 0
+
+    # protocol-level reconfiguration around a permanent death
+    tokens_regenerated: int = 0
+    waiters_purged: int = 0
+    barrier_reconfigs: int = 0
+    orphan_pages_restored: int = 0
+    rerouted_requests: int = 0
+    #: locks whose manager died and was rebuilt on node 0 from survivor
+    #: reports
+    locks_rehomed: int = 0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "plan": self.plan,
+            "fault_seed": self.fault_seed,
+            "schedule": [list(entry) for entry in self.schedule],
+            "crashes": self.crashes,
+            "crashes_skipped": self.crashes_skipped,
+            "revivals": self.revivals,
+            "down_cycles": self.down_cycles,
+            "restore_cycles": self.restore_cycles,
+            "replay_cycles": self.replay_cycles,
+            "restored_pages": self.restored_pages,
+            "checkpoints": self.checkpoints,
+            "checkpoint_pages": self.checkpoint_pages,
+            "heartbeats_sent": self.heartbeats_sent,
+            "leases_expired": self.leases_expired,
+            "peers_declared_dead": self.peers_declared_dead,
+            "frames_blackholed": self.frames_blackholed,
+            "sends_suppressed": self.sends_suppressed,
+            "parked_probes": self.parked_probes,
+            "cancelled_sends": self.cancelled_sends,
+            "tokens_regenerated": self.tokens_regenerated,
+            "waiters_purged": self.waiters_purged,
+            "barrier_reconfigs": self.barrier_reconfigs,
+            "orphan_pages_restored": self.orphan_pages_restored,
+            "rerouted_requests": self.rerouted_requests,
+            "locks_rehomed": self.locks_rehomed,
+        }
+
+    def summary(self) -> str:
+        bits = [f"recovery[{self.plan}@{self.fault_seed}]:",
+                f"{self.crashes} crash(es)", f"{self.revivals} restart(s)",
+                f"{self.checkpoints} ckpt(s)"]
+        if self.restored_pages:
+            bits.append(f"{self.restored_pages} pages restored")
+        if self.frames_blackholed or self.sends_suppressed:
+            bits.append(f"{self.frames_blackholed} blackholed / "
+                        f"{self.sends_suppressed} suppressed frames")
+        if self.parked_probes:
+            bits.append(f"{self.parked_probes} parked probes")
+        if self.peers_declared_dead:
+            bits.append(f"{self.peers_declared_dead} declared dead "
+                        f"({self.tokens_regenerated} tokens regenerated, "
+                        f"{self.locks_rehomed} locks rehomed, "
+                        f"{self.orphan_pages_restored} orphans restored)")
+        return " ".join(bits[:1]) + " " + ", ".join(bits[1:])

@@ -45,6 +45,9 @@ class RunResult:
     #: injected-fault / reliable-transport counters
     #: (``faults.NetFaultStats``; None when ``config.faults`` is off)
     net_faults: Optional[Any] = None
+    #: crash/recovery counters (``recovery.RecoveryStats``; None unless the
+    #: plan scheduled crashes)
+    recovery: Optional[Any] = None
     #: simulated clock frequency (for cycles -> seconds conversions)
     clock_hz: float = 100e6
     extra: Dict[str, Any] = field(default_factory=dict)
@@ -82,6 +85,8 @@ class RunResult:
                                  if self.check_report is not None else None),
             "net_faults": (self.net_faults.to_dict()
                            if self.net_faults is not None else None),
+            "recovery": (self.recovery.to_dict()
+                         if self.recovery is not None else None),
         }
 
     @property

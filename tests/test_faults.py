@@ -33,7 +33,8 @@ from repro.protocols.base import (ACK_KIND, BEST_EFFORT_KINDS,
                                   ReliableTransport, TransportTimeoutError)
 from repro.sync.objects import SyncRegistry
 
-BUILTIN_NAMES = ("lossy-1pct", "dup-heavy", "jitter", "stall-one-node")
+BUILTIN_NAMES = ("lossy-1pct", "dup-heavy", "jitter", "stall-one-node",
+                 "crash-one-node", "crash-restart")
 
 
 # ===================================================================== plans
@@ -44,7 +45,7 @@ class TestFaultPlans:
         assert set(BUILTIN_PLANS) == set(BUILTIN_NAMES)
         for name, plan in BUILTIN_PLANS.items():
             assert plan.name == name
-            assert plan.rules or plan.stalls
+            assert plan.rules or plan.stalls or plan.crashes
 
     def test_get_plan_with_seed_override(self):
         plan = get_plan("lossy-1pct@7")

@@ -1,0 +1,359 @@
+"""Crash-stop fault injection and the recovery subsystem (``repro.recovery``).
+
+Complements ``test_faults.py`` (which carries the headline guarantee:
+every app x {aec, tmk} under both built-in crash plans is checker-clean
+and word-identical to the fault-free SC oracle).  This module covers the
+recovery machinery itself:
+
+* crash schedules are seeded, validated and cache-key-relevant;
+* lease-based failure detection (lazy lease start, renewal, expiry);
+* with recovery disabled, a dead peer raises a structured
+  ``PeerDeadError`` instead of probing forever;
+* permanent deaths: declaration, token regeneration, barrier
+  reconfiguration and lock-manager re-homing let survivors finish;
+* the sweep stays byte-deterministic across worker counts under crashes.
+"""
+import dataclasses
+import pickle
+
+import pytest
+
+from repro.apps.registry import make_app
+from repro.config import MachineParams, SimConfig, config_digest
+from repro.core.aec.barrier_manager import AECBarrierManager, ArrivalInfo
+from repro.core.aec.lock_manager import AECLockManager
+from repro.core.lap.predictor import LapPredictor
+from repro.faults import FaultPlan, NodeCrash, get_plan
+from repro.harness import sweep as sw
+from repro.harness.runner import run_app
+from repro.protocols.base import PeerDeadError
+from repro.recovery.crash import resolve_crashes
+from repro.recovery.detector import FailureDetector
+from repro.recovery.stats import RecoveryStats
+
+
+# ================================================================ schedules
+
+
+class TestResolveCrashes:
+    def test_deterministic_and_sorted(self):
+        plan = FaultPlan(name="p", seed=3, crashes=(
+            NodeCrash(at_lo=300_000.0, at_hi=400_000.0),
+            NodeCrash(at_lo=100_000.0, at_hi=200_000.0)))
+        a = resolve_crashes(plan, 16)
+        b = resolve_crashes(plan, 16)
+        assert a == b
+        assert [c.at for c in a] == sorted(c.at for c in a)
+
+    def test_seed_changes_schedule(self):
+        plan = FaultPlan(name="p", seed=1, crashes=(NodeCrash(),))
+        assert resolve_crashes(plan, 16) != \
+            resolve_crashes(plan.with_seed(2), 16)
+
+    def test_drawn_crashes_share_one_victim(self):
+        # node=None models one flaky machine: both crashes hit the same
+        # seeded victim (the crash-restart builtin relies on this)
+        plan = FaultPlan(name="p", seed=5, crashes=(
+            NodeCrash(at=100_000.0), NodeCrash(at=700_000.0)))
+        a, b = resolve_crashes(plan, 16)
+        assert a.node == b.node
+        assert 1 <= a.node < 16
+
+    def test_single_node_rejected(self):
+        plan = FaultPlan(name="p", seed=1, crashes=(NodeCrash(),))
+        with pytest.raises(ValueError, match="at least 2 nodes"):
+            resolve_crashes(plan, 1)
+
+    def test_node_out_of_range_rejected(self):
+        plan = FaultPlan(name="p", seed=1,
+                         crashes=(NodeCrash(node=7, at=100_000.0),))
+        with pytest.raises(ValueError, match="out of range"):
+            resolve_crashes(plan, 4)
+
+    def test_no_crashes_empty_schedule(self):
+        assert resolve_crashes(get_plan("lossy-1pct"), 16) == ()
+
+    def test_crash_validation(self):
+        with pytest.raises(ValueError, match="node 0"):
+            NodeCrash(node=0)
+        with pytest.raises(ValueError):
+            NodeCrash(at=-5.0)
+        with pytest.raises(ValueError):
+            NodeCrash(at_lo=0.0)
+        with pytest.raises(ValueError):
+            NodeCrash(down_cycles=0.0)
+
+    def test_crash_plans_change_config_digest(self):
+        base = config_digest(SimConfig())
+        one = config_digest(SimConfig(faults=get_plan("crash-one-node")))
+        one7 = config_digest(SimConfig(faults=get_plan("crash-one-node@7")))
+        two = config_digest(SimConfig(faults=get_plan("crash-restart")))
+        assert len({base, one, one7, two}) == 4
+
+    def test_crash_seed_changes_sweep_cache_cell(self):
+        keys = {sw.make_spec("is", "test", "aec",
+                             faults=get_plan(name)).key
+                for name in ("crash-one-node@1", "crash-one-node@2",
+                             "crash-restart@1")}
+        keys.add(sw.make_spec("is", "test", "aec").key)
+        assert len(keys) == 4
+
+    def test_describe_mentions_crashes(self):
+        assert "crashes" in get_plan("crash-one-node").describe()
+        assert "permanent" not in get_plan("crash-restart").describe()
+
+
+# ================================================================= detector
+
+
+def _detector(lease=100.0):
+    machine = dataclasses.replace(MachineParams(), lease_cycles=lease)
+    stats = RecoveryStats(plan="t", fault_seed=1)
+    return FailureDetector(None, machine, stats), stats
+
+
+class TestFailureDetector:
+    def test_lease_starts_at_first_consultation(self):
+        # a pair that never exchanged a frame must not read as expired at
+        # its first-ever liveness check late in a run
+        det, stats = _detector(lease=100.0)
+        assert det.alive(0, 3, now=1e9)
+        assert stats.leases_expired == 0
+        assert det.alive(0, 3, now=1e9 + 100.0)
+        assert not det.alive(0, 3, now=1e9 + 101.0)
+
+    def test_frames_renew_the_lease(self):
+        det, stats = _detector(lease=100.0)
+        det.note_frame(0, 3, now=0.0)
+        det.note_frame(0, 3, now=90.0)
+        assert det.alive(0, 3, now=150.0)
+        assert stats.leases_expired == 0
+
+    def test_expiry_counted_once_per_transition(self):
+        det, stats = _detector(lease=100.0)
+        det.note_frame(0, 3, now=0.0)
+        assert not det.alive(0, 3, now=200.0)
+        assert not det.alive(0, 3, now=300.0)
+        assert stats.leases_expired == 1
+        det.note_frame(0, 3, now=301.0)  # peer came back
+        assert det.alive(0, 3, now=302.0)
+        assert not det.alive(0, 3, now=500.0)
+        assert stats.leases_expired == 2
+
+    def test_own_and_negative_sources_ignored(self):
+        det, _stats = _detector()
+        det.note_frame(2, 2, now=5.0)
+        det.note_frame(2, -1, now=5.0)
+        assert det.last_heard == {}
+
+
+# ===================================================== manager-side recovery
+
+
+def _lock_mgr():
+    return AECLockManager(0, 4, LapPredictor(2, 0.5), use_lap=True)
+
+
+class TestLockManagerPeerDead:
+    def test_dead_holder_token_regenerated_and_waiter_granted(self):
+        mgr = _lock_mgr()
+        assert mgr.request(7, 2) is not None  # node 2 holds lock 7
+        assert mgr.request(7, 1) is None      # node 1 queues behind it
+        grants, regenerated, purged = mgr.peer_dead(2)
+        assert regenerated == 1 and purged == 0
+        [(nxt, grant, _pred)] = grants
+        assert nxt == 1 and grant.lock_id == 7
+        assert mgr.lock(7).pred.holder == 1
+
+    def test_dead_waiter_purged(self):
+        mgr = _lock_mgr()
+        mgr.request(7, 1)
+        mgr.request(7, 2)
+        mgr.request(7, 3)
+        grants, regenerated, purged = mgr.peer_dead(2)
+        assert (grants, regenerated, purged) == ([], 0, 1)
+        assert list(mgr.lock(7).pred.waiting_queue) == [3]
+
+    def test_dead_node_scrubbed_from_history_and_coverage(self):
+        # a grant must never tell the acquirer to fetch diffs from a node
+        # that no longer exists, nor claim the dead node's push covered it
+        mgr = _lock_mgr()
+        mgr.request(7, 2)
+        mgr.release(7, 2, [10, 11], [10, 11])
+        ml = mgr.lock(7)
+        assert ml.history == {10: 2, 11: 2} and ml.coverage == {10, 11}
+        mgr.peer_dead(2)
+        assert ml.history == {} and ml.coverage == set()
+        _grant, _pred = mgr.request(7, 1)
+        assert _grant.invalidate == [] and _grant.covered == []
+
+
+def _arrival(node, **kw):
+    return ArrivalInfo(node=node, lock_sessions=kw.get("lock_sessions", {}),
+                       outside_mod_pages=kw.get("outside_mod_pages", []),
+                       accessed_pages=kw.get("accessed_pages", []),
+                       gained_valid=kw.get("gained_valid", []),
+                       lost_valid=kw.get("lost_valid", []))
+
+
+class TestBarrierManagerRemoveMember:
+    def test_dead_straggler_unblocks_collect_phase(self):
+        bm = AECBarrierManager(num_procs=3, total_pages=4)
+        bm.arrive(_arrival(0))
+        bm.arrive(_arrival(1))
+        assert not bm.all_arrived()
+        bm.remove_member(2)
+        assert bm.live == {0, 1} and bm.all_arrived()
+
+    def test_orphan_pages_adopted_by_node_zero(self):
+        bm = AECBarrierManager(num_procs=3, total_pages=2)
+        # page 1's only copy migrates to node 2, then node 2 dies
+        bm.validset[1] = {2}
+        bm.copyset[1] = {2}
+        bm.homes[1] = 2
+        info = bm.remove_member(2)
+        assert info["orphans"] == [1]
+        assert info["homes"][1] == 0
+        assert bm.validset[1] == {0} and bm.copyset[1] == {0}
+
+    def test_exchange_phase_credits_what_the_dead_node_owed(self):
+        bm = AECBarrierManager(num_procs=3, total_pages=4)
+        bm.validset[0] = {0, 1, 2}
+        bm.arrive(_arrival(0))
+        bm.arrive(_arrival(1))
+        bm.arrive(_arrival(2, lock_sessions={5: (1, [0], [0])},
+                           outside_mod_pages=[3], accessed_pages=[0, 3]))
+        instr = bm.compute()
+        # node 2 owes diffs for page 0 to nodes 0 and 1
+        assert instr[2].cs_sends
+        info = bm.remove_member(2)
+        expect = info["expect_from_dead"]
+        assert expect[0][0] >= 1 and expect[1][0] >= 1
+        assert bm.all_done() is False
+        bm.node_done(0)
+        bm.node_done(1)
+        assert bm.all_done()
+
+
+# ======================================== recovery disabled: fails loudly
+
+
+class TestRecoveryDisabledFailsLoudly:
+    def test_lease_expiry_raises_structured_peer_dead(self):
+        # node 3 is down well past the lease; with recovery off the first
+        # retransmission that consults the lease must raise, not probe
+        plan = FaultPlan(name="perm", seed=1, crashes=(
+            NodeCrash(node=3, at=250_000.0, down_cycles=900_000.0),))
+        config = SimConfig(seed=42, faults=plan, crash_recovery=False)
+        with pytest.raises(PeerDeadError) as exc:
+            run_app(make_app("ocean", "test"), "aec", config)
+        err = exc.value.to_dict()
+        assert err["error"] == "peer_dead"
+        assert err["peer"] == 3
+        assert err["silent_cycles"] > MachineParams().lease_cycles
+        assert {"observer", "kind", "seq", "time"} <= set(err)
+
+
+# ========================================== restart path: spans + counters
+
+
+class TestRestartRecovery:
+    def test_crash_restart_counters_and_spans(self):
+        config = SimConfig(seed=42, faults=get_plan("crash-restart"),
+                           obs_spans=True)
+        result = run_app(make_app("ocean", "test"), "aec", config)
+        rec = result.recovery
+        assert rec is not None
+        assert rec.crashes == 2 and rec.revivals == 2
+        assert rec.peers_declared_dead == 0
+        assert rec.checkpoints > 0 and rec.heartbeats_sent > 0
+        # the second crash restores from a checkpoint taken after the first
+        assert rec.restored_pages >= 0 and rec.replay_cycles > 0
+        (victim, _at, _down, _restart) = rec.schedule[0]
+        spans = result.extra["spans"]
+        names = [s.name for s in spans.of_kind("fault")]
+        assert f"fault.crash n{victim}" in names
+        assert f"fault.recover n{victim}" in names
+        doc = rec.to_dict()
+        assert doc["plan"] == "crash-restart" and doc["crashes"] == 2
+
+    def test_no_recovery_state_without_crashes(self):
+        config = SimConfig(seed=42, faults=get_plan("lossy-1pct"))
+        result = run_app(make_app("is", "test"), "aec", config)
+        assert result.recovery is None
+
+
+# ===================================== permanent death: full reconfiguration
+
+
+class TestPermanentDeath:
+    def _run(self, app_name, node=3, at=500_000.0):
+        plan = FaultPlan(name="perm", seed=1, crashes=(
+            NodeCrash(node=node, at=at, down_cycles=150_000.0,
+                      restart=False),))
+        machine = dataclasses.replace(MachineParams(),
+                                      crash_declare_cycles=200_000)
+        config = SimConfig(seed=42, machine=machine, faults=plan)
+        # check=False: data since the last checkpoint dies with the node
+        # (inherent to unreplicated crash-stop, DESIGN.md §13) — this test
+        # certifies liveness and reconfiguration, not data recency
+        return run_app(make_app(app_name, "test"), "aec", config,
+                       check=False)
+
+    def test_survivors_finish_after_declaration(self):
+        result = self._run("ocean", node=2, at=200_000.0)
+        rec = result.recovery
+        assert rec.crashes == 1 and rec.revivals == 0
+        assert rec.peers_declared_dead == 1
+        assert rec.barrier_reconfigs == 1
+        # heartbeats and probe traffic must also wind down: execution time
+        # is the survivors' finish (fault-free ocean/aec runs ~8.7M
+        # cycles), not some detector tail
+        assert result.execution_time < 20_000_000
+
+    def test_dead_lock_manager_rehomed_to_node_zero(self):
+        # raytrace hashes locks across all nodes; killing node 3 orphans
+        # its managed locks mid-contention, so survivors' state reports
+        # must rebuild them on node 0 (holder, waiters, diff history)
+        result = self._run("raytrace")
+        rec = result.recovery
+        assert rec.peers_declared_dead == 1
+        assert rec.locks_rehomed >= 1
+        assert rec.tokens_regenerated + rec.waiters_purged >= 0
+        assert result.execution_time < 20_000_000
+
+
+# ========================================= determinism across the sweep
+
+
+@pytest.fixture()
+def _isolated_sweep_caches():
+    sw.clear_memory()
+    sw.set_cache_dir(None)
+    yield
+    sw.clear_memory()
+    sw.set_cache_dir(None)
+
+
+class TestSweepDeterminismUnderCrashes:
+    CELLS = (("is", "aec"), ("is", "tmk"), ("fft", "aec"), ("fft", "tmk"))
+
+    def test_serial_and_parallel_byte_identical(self, tmp_path,
+                                                _isolated_sweep_caches):
+        specs = [sw.make_spec(app, "test", protocol,
+                              faults=get_plan("crash-one-node"))
+                 for app, protocol in self.CELLS]
+        serial = sw.run_sweep(specs, jobs=1,
+                              cache_dir=str(tmp_path / "serial"))
+        sw.clear_memory()
+        parallel = sw.run_sweep(specs, jobs=4,
+                                cache_dir=str(tmp_path / "parallel"))
+        assert not serial.failures and not parallel.failures
+        for spec in specs:
+            a = serial.result_for(spec).sanitized()
+            b = parallel.result_for(spec).sanitized()
+            assert a.recovery is not None
+            assert a.recovery == b.recovery
+            a = dataclasses.replace(a, wall_seconds=0.0)
+            b = dataclasses.replace(b, wall_seconds=0.0)
+            assert pickle.dumps(a) == pickle.dumps(b)
